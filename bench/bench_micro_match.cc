@@ -1,0 +1,111 @@
+// M3: microbenchmarks of the matcher kernels — Gview filtering, KMatch
+// verification, SubIso, and similarity-matrix construction.
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "baseline/simmatrix.h"
+#include "baseline/subiso.h"
+#include "common/rng.h"
+#include "core/filtering.h"
+#include "core/kmatch.h"
+#include "core/ontology_index.h"
+#include "gen/query_gen.h"
+#include "gen/scenarios.h"
+
+namespace {
+
+using namespace osq;
+
+struct World {
+  gen::Dataset ds;
+  std::unique_ptr<OntologyIndex> index;
+  std::vector<Graph> queries;
+};
+
+World* MakeWorld() {
+  auto* w = new World();
+  gen::ScenarioParams p;
+  p.scale = 8000;
+  p.seed = 13;
+  w->ds = gen::MakeCrossDomainLike(p);
+  IndexOptions idx;
+  idx.num_concept_graphs = 2;
+  w->index = std::make_unique<OntologyIndex>(
+      OntologyIndex::Build(w->ds.graph, w->ds.ontology, idx));
+  Rng rng(17);
+  gen::QueryGenParams qp;
+  qp.num_nodes = 4;
+  qp.generalize_prob = 0.5;
+  while (w->queries.size() < 8) {
+    Graph q = gen::ExtractQuery(w->ds.graph, w->ds.ontology, qp, &rng);
+    if (!q.empty()) w->queries.push_back(std::move(q));
+  }
+  return w;
+}
+
+World& TheWorld() {
+  static World* const world = MakeWorld();
+  return *world;
+}
+
+void BM_GviewFilter(benchmark::State& state) {
+  World& w = TheWorld();
+  QueryOptions options;
+  options.theta = 0.85;
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        GviewFilter(*w.index, w.queries[i % w.queries.size()], options));
+    ++i;
+  }
+}
+BENCHMARK(BM_GviewFilter)->Unit(benchmark::kMicrosecond);
+
+void BM_KMatchVerify(benchmark::State& state) {
+  World& w = TheWorld();
+  QueryOptions options;
+  options.theta = 0.85;
+  options.k = 10;
+  std::vector<FilterResult> filters;
+  for (const Graph& q : w.queries) {
+    filters.push_back(GviewFilter(*w.index, q, options));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    size_t j = i % w.queries.size();
+    benchmark::DoNotOptimize(KMatch(w.queries[j], filters[j], options));
+    ++i;
+  }
+}
+BENCHMARK(BM_KMatchVerify)->Unit(benchmark::kMicrosecond);
+
+void BM_SubIsoWholeGraph(benchmark::State& state) {
+  World& w = TheWorld();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        SubIso(w.queries[i % w.queries.size()], w.ds.graph,
+               MatchSemantics::kInduced, /*limit=*/10));
+    ++i;
+  }
+}
+BENCHMARK(BM_SubIsoWholeGraph)->Unit(benchmark::kMicrosecond);
+
+void BM_BuildSimMatrix(benchmark::State& state) {
+  World& w = TheWorld();
+  SimilarityFunction sim(0.9);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        BuildSimMatrix(w.queries[i % w.queries.size()], w.ds.graph,
+                       w.ds.ontology, sim, 0.85));
+    ++i;
+  }
+}
+BENCHMARK(BM_BuildSimMatrix)->Unit(benchmark::kMicrosecond);
+
+}  // namespace

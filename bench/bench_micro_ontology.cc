@@ -1,0 +1,80 @@
+// M1: microbenchmarks of the ontology substrate — bounded BFS distance,
+// similarity balls, concept label selection.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "gen/synthetic.h"
+#include "graph/label_dictionary.h"
+#include "ontology/ontology_partition.h"
+#include "ontology/similarity.h"
+
+namespace {
+
+using namespace osq;
+
+OntologyGraph MakeOntology(size_t labels) {
+  LabelDictionary dict;
+  gen::SyntheticOntologyParams p;
+  p.num_labels = labels;
+  return gen::MakeTaxonomyOntology(p, &dict);
+}
+
+void BM_OntologyDistance(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  OntologyGraph o = MakeOntology(n);
+  Rng rng(1);
+  for (auto _ : state) {
+    LabelId a = static_cast<LabelId>(rng.Index(n));
+    LabelId b = static_cast<LabelId>(rng.Index(n));
+    benchmark::DoNotOptimize(o.Distance(a, b, 4));
+  }
+}
+BENCHMARK(BM_OntologyDistance)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_BallAround(benchmark::State& state) {
+  size_t n = 10000;
+  uint32_t radius = static_cast<uint32_t>(state.range(0));
+  OntologyGraph o = MakeOntology(n);
+  Rng rng(2);
+  for (auto _ : state) {
+    LabelId a = static_cast<LabelId>(rng.Index(n));
+    benchmark::DoNotOptimize(o.BallAround(a, radius));
+  }
+}
+BENCHMARK(BM_BallAround)->Arg(1)->Arg(2)->Arg(3)->Arg(5);
+
+void BM_SimilarityLookup(benchmark::State& state) {
+  OntologyGraph o = MakeOntology(10000);
+  SimilarityFunction sim(0.9);
+  Rng rng(3);
+  for (auto _ : state) {
+    LabelId a = static_cast<LabelId>(rng.Index(10000));
+    LabelId b = static_cast<LabelId>(rng.Index(10000));
+    benchmark::DoNotOptimize(sim.Similarity(o, a, b, 0.81));
+  }
+}
+BENCHMARK(BM_SimilarityLookup);
+
+void BM_SelectConceptLabels(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  OntologyGraph o = MakeOntology(n);
+  SimilarityFunction sim(0.9);
+  Rng rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SelectConceptLabels(o, sim, 0.81, 8, &rng));
+  }
+}
+BENCHMARK(BM_SelectConceptLabels)->Arg(1000)->Arg(10000);
+
+void BM_RadiusComputation(benchmark::State& state) {
+  SimilarityFunction sim(0.9);
+  double theta = 0.5;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.Radius(theta));
+    theta = theta >= 0.99 ? 0.5 : theta + 0.01;
+  }
+}
+BENCHMARK(BM_RadiusComputation);
+
+}  // namespace

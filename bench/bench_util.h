@@ -1,0 +1,60 @@
+// Shared helpers for the experiment harnesses (bench/exp_*.cc).
+//
+// Every harness prints the rows/series of one paper table or figure; the
+// helpers here keep timing and formatting uniform.  Scales default to
+// laptop-friendly sizes; set OSQ_BENCH_SCALE=<multiplier> to grow or shrink
+// every workload (e.g. OSQ_BENCH_SCALE=4 for a larger run).
+
+#ifndef OSQ_BENCH_BENCH_UTIL_H_
+#define OSQ_BENCH_BENCH_UTIL_H_
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/timer.h"
+
+namespace osq {
+namespace bench {
+
+// Multiplies a default size by the OSQ_BENCH_SCALE environment variable
+// (a positive double, default 1.0).
+inline size_t Scaled(size_t base) {
+  static const double factor = [] {
+    const char* env = std::getenv("OSQ_BENCH_SCALE");
+    if (env == nullptr) return 1.0;
+    double f = std::atof(env);
+    return f > 0.0 ? f : 1.0;
+  }();
+  size_t scaled = static_cast<size_t>(static_cast<double>(base) * factor);
+  return scaled > 0 ? scaled : 1;
+}
+
+// Runs `fn` `reps` times and returns the median wall time in ms.
+template <typename Fn>
+double MedianMs(int reps, Fn&& fn) {
+  std::vector<double> samples;
+  samples.reserve(reps);
+  for (int i = 0; i < reps; ++i) {
+    WallTimer timer;
+    fn();
+    samples.push_back(timer.ElapsedMillis());
+  }
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+inline void PrintTitle(const std::string& title) {
+  std::printf("\n== %s ==\n", title.c_str());
+}
+
+inline void PrintNote(const std::string& note) {
+  std::printf("   %s\n", note.c_str());
+}
+
+}  // namespace bench
+}  // namespace osq
+
+#endif  // OSQ_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,119 @@
+#include "baseline/rewriting.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "baseline/subiso.h"
+#include "common/check.h"
+
+namespace osq {
+
+namespace {
+
+// One substitutable label with its similarity to the original query label.
+struct LabelChoice {
+  LabelId label;
+  double sim;
+};
+
+}  // namespace
+
+std::vector<Match> SubIsoRewrite(const Graph& query, const Graph& g,
+                                 const OntologyGraph& o,
+                                 const SimilarityFunction& sim,
+                                 const QueryOptions& options,
+                                 size_t max_rewritings, RewriteStats* stats) {
+  RewriteStats local;
+  std::vector<Match> results;
+  size_t nq = query.num_nodes();
+  if (nq == 0) {
+    if (stats != nullptr) *stats = local;
+    return results;
+  }
+
+  // Labels that occur in the data graph; rewriting to any other label
+  // cannot produce a match.
+  std::unordered_set<LabelId> data_labels;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    data_labels.insert(g.NodeLabel(v));
+  }
+
+  // Candidate label choices per query node, best similarity first so the
+  // most promising rewritings are evaluated before any truncation.
+  std::vector<std::vector<LabelChoice>> choices(nq);
+  for (NodeId u = 0; u < nq; ++u) {
+    LabelId ql = query.NodeLabel(u);
+    std::unordered_set<LabelId> seen;
+    for (const LabelDistance& ld :
+         o.BallAround(ql, sim.Radius(options.theta))) {
+      if (data_labels.count(ld.label) > 0 && seen.insert(ld.label).second) {
+        choices[u].push_back({ld.label, sim.SimAtDistance(ld.distance)});
+      }
+    }
+    if (data_labels.count(ql) > 0 && seen.insert(ql).second) {
+      choices[u].push_back({ql, 1.0});
+    }
+    if (choices[u].empty()) {
+      if (stats != nullptr) *stats = local;
+      return results;
+    }
+    std::stable_sort(choices[u].begin(), choices[u].end(),
+                     [](const LabelChoice& a, const LabelChoice& b) {
+                       return a.sim > b.sim;
+                     });
+  }
+
+  local.combinations = 1;
+  for (NodeId u = 0; u < nq; ++u) {
+    // Saturating product; the count is reported, not allocated.
+    if (local.combinations > (size_t(1) << 40)) break;
+    local.combinations *= choices[u].size();
+  }
+
+  // Enumerate the Cartesian product of label choices.
+  Graph rewritten = query;
+  std::vector<size_t> pick(nq, 0);
+  bool exhausted = false;
+  while (!exhausted) {
+    if (max_rewritings > 0 && local.rewritings >= max_rewritings) {
+      local.truncated = true;
+      break;
+    }
+    double label_score = 0.0;
+    for (NodeId u = 0; u < nq; ++u) {
+      rewritten.SetNodeLabel(u, choices[u][pick[u]].label);
+      label_score += choices[u][pick[u]].sim;
+    }
+    ++local.rewritings;
+    SubIsoStats iso_stats;
+    std::vector<Match> found = SubIso(rewritten, g, options.semantics,
+                                      /*limit=*/0, options.max_search_steps,
+                                      &iso_stats);
+    if (iso_stats.truncated) local.truncated = true;
+    for (Match& m : found) {
+      // A match's labels equal the rewriting's labels, so the rewriting
+      // score is the match score; distinct rewritings yield distinct
+      // matches (their matched labels differ), hence no deduplication.
+      m.score = label_score;
+      results.push_back(std::move(m));
+      ++local.matches_found;
+    }
+    // Advance the odometer.
+    size_t pos = 0;
+    while (pos < nq) {
+      if (++pick[pos] < choices[pos].size()) break;
+      pick[pos] = 0;
+      ++pos;
+    }
+    exhausted = pos == nq;
+  }
+
+  std::sort(results.begin(), results.end(), MatchBetter());
+  if (options.k > 0 && results.size() > options.k) {
+    results.resize(options.k);
+  }
+  if (stats != nullptr) *stats = local;
+  return results;
+}
+
+}  // namespace osq

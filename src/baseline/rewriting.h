@@ -1,0 +1,49 @@
+// SubIso_r — the query-rewriting baseline (paper §III and §VII).
+//
+// Traditional ontology-based querying rewrites the query by substituting
+// each query label with every ontologically close label, producing (in the
+// worst case) an exponential number of rewritten queries which are each
+// evaluated with plain SubIso; the union of their matches, scored by the
+// similarity of the substituted labels, yields the top-K answer.  This is
+// exactly the strategy the paper argues against, and the bench figures
+// show the blow-up.
+
+#ifndef OSQ_BASELINE_REWRITING_H_
+#define OSQ_BASELINE_REWRITING_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/match.h"
+#include "core/options.h"
+#include "graph/graph.h"
+#include "ontology/ontology_graph.h"
+#include "ontology/similarity.h"
+
+namespace osq {
+
+struct RewriteStats {
+  // Rewritten queries actually evaluated.
+  size_t rewritings = 0;
+  // Rewritten label combinations that exist in principle (product of the
+  // per-node candidate label counts); equals `rewritings` unless truncated.
+  size_t combinations = 0;
+  size_t matches_found = 0;
+  bool truncated = false;
+};
+
+// Evaluates `query` over `g` by label rewriting.  Candidate labels for a
+// query node are the labels within Radius(options.theta) in the ontology
+// that occur in `g` (plus the original label).  Returns the top-K matches
+// under MatchBetter (options.k == 0 returns all matches sorted).
+// `max_rewritings` (0 = unlimited) caps the enumeration for safety.
+std::vector<Match> SubIsoRewrite(const Graph& query, const Graph& g,
+                                 const OntologyGraph& o,
+                                 const SimilarityFunction& sim,
+                                 const QueryOptions& options,
+                                 size_t max_rewritings = 0,
+                                 RewriteStats* stats = nullptr);
+
+}  // namespace osq
+
+#endif  // OSQ_BASELINE_REWRITING_H_

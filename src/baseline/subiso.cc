@@ -1,0 +1,190 @@
+#include "baseline/subiso.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace osq {
+
+namespace {
+
+class IsoSearcher {
+ public:
+  IsoSearcher(const Graph& query, const Graph& g, MatchSemantics semantics,
+              size_t limit, size_t max_steps, SubIsoStats* stats)
+      : query_(query),
+        g_(g),
+        semantics_(semantics),
+        limit_(limit),
+        max_steps_(max_steps),
+        stats_(stats) {}
+
+  std::vector<Match> Run() {
+    BuildCandidates();
+    for (const auto& c : candidates_) {
+      if (c.empty()) {
+        Finish();
+        return {};
+      }
+    }
+    BuildOrder();
+    assign_.assign(query_.num_nodes(), kInvalidNode);
+    used_.assign(g_.num_nodes(), false);
+    Recurse(0);
+    Finish();
+    return std::move(results_);
+  }
+
+ private:
+  void Finish() {
+    if (stats_ != nullptr) {
+      stats_->search_steps = steps_;
+      stats_->matches_found = results_.size();
+      stats_->truncated = truncated_;
+    }
+  }
+
+  void BuildCandidates() {
+    // Label index over the data graph plus a degree filter: a data node
+    // matching query node u needs at least u's out- and in-degree (true
+    // for both semantics, since every query edge needs a data edge).
+    std::unordered_map<LabelId, std::vector<NodeId>> by_label;
+    for (NodeId v = 0; v < g_.num_nodes(); ++v) {
+      by_label[g_.NodeLabel(v)].push_back(v);
+    }
+    candidates_.resize(query_.num_nodes());
+    for (NodeId u = 0; u < query_.num_nodes(); ++u) {
+      auto it = by_label.find(query_.NodeLabel(u));
+      if (it == by_label.end()) continue;
+      for (NodeId v : it->second) {
+        if (g_.OutDegree(v) >= query_.OutDegree(u) &&
+            g_.InDegree(v) >= query_.InDegree(u)) {
+          candidates_[u].push_back(v);
+        }
+      }
+    }
+  }
+
+  void BuildOrder() {
+    size_t nq = query_.num_nodes();
+    std::vector<bool> placed(nq, false);
+    NodeId first = 0;
+    for (NodeId u = 1; u < nq; ++u) {
+      if (candidates_[u].size() < candidates_[first].size()) first = u;
+    }
+    order_.push_back(first);
+    placed[first] = true;
+    while (order_.size() < nq) {
+      NodeId best = kInvalidNode;
+      size_t best_conn = 0;
+      for (NodeId u = 0; u < nq; ++u) {
+        if (placed[u]) continue;
+        size_t conn = 0;
+        for (const AdjEntry& e : query_.OutEdges(u)) {
+          if (placed[e.node]) ++conn;
+        }
+        for (const AdjEntry& e : query_.InEdges(u)) {
+          if (placed[e.node]) ++conn;
+        }
+        if (best == kInvalidNode || conn > best_conn ||
+            (conn == best_conn &&
+             candidates_[u].size() < candidates_[best].size())) {
+          best = u;
+          best_conn = conn;
+        }
+      }
+      order_.push_back(best);
+      placed[best] = true;
+    }
+  }
+
+  bool Consistent(NodeId q, NodeId v, size_t depth) const {
+    for (size_t i = 0; i < depth; ++i) {
+      NodeId q2 = order_[i];
+      NodeId v2 = assign_[q2];
+      std::vector<LabelId> q_fwd = query_.EdgeLabelsBetween(q, q2);
+      std::vector<LabelId> d_fwd = g_.EdgeLabelsBetween(v, v2);
+      std::vector<LabelId> q_bwd = query_.EdgeLabelsBetween(q2, q);
+      std::vector<LabelId> d_bwd = g_.EdgeLabelsBetween(v2, v);
+      if (semantics_ == MatchSemantics::kInduced) {
+        if (q_fwd != d_fwd || q_bwd != d_bwd) return false;
+      } else {
+        if (!std::includes(d_fwd.begin(), d_fwd.end(), q_fwd.begin(),
+                           q_fwd.end()) ||
+            !std::includes(d_bwd.begin(), d_bwd.end(), q_bwd.begin(),
+                           q_bwd.end())) {
+          return false;
+        }
+      }
+    }
+    std::vector<LabelId> q_self = query_.EdgeLabelsBetween(q, q);
+    std::vector<LabelId> d_self = g_.EdgeLabelsBetween(v, v);
+    if (semantics_ == MatchSemantics::kInduced) {
+      return q_self == d_self;
+    }
+    return std::includes(d_self.begin(), d_self.end(), q_self.begin(),
+                         q_self.end());
+  }
+
+  bool Done() const {
+    return truncated_ || (limit_ > 0 && results_.size() >= limit_);
+  }
+
+  void Recurse(size_t depth) {
+    if (Done()) return;
+    ++steps_;
+    if (max_steps_ > 0 && steps_ > max_steps_) {
+      truncated_ = true;
+      return;
+    }
+    if (depth == order_.size()) {
+      Match m;
+      m.mapping = assign_;
+      m.score = static_cast<double>(order_.size());
+      results_.push_back(std::move(m));
+      return;
+    }
+    NodeId q = order_[depth];
+    for (NodeId v : candidates_[q]) {
+      if (Done()) return;
+      if (used_[v]) continue;
+      if (!Consistent(q, v, depth)) continue;
+      assign_[q] = v;
+      used_[v] = true;
+      Recurse(depth + 1);
+      used_[v] = false;
+      assign_[q] = kInvalidNode;
+    }
+  }
+
+  const Graph& query_;
+  const Graph& g_;
+  MatchSemantics semantics_;
+  size_t limit_;
+  size_t max_steps_;
+  SubIsoStats* stats_;
+
+  std::vector<std::vector<NodeId>> candidates_;
+  std::vector<NodeId> order_;
+  std::vector<NodeId> assign_;
+  std::vector<bool> used_;
+  std::vector<Match> results_;
+  size_t steps_ = 0;
+  bool truncated_ = false;
+};
+
+}  // namespace
+
+std::vector<Match> SubIso(const Graph& query, const Graph& g,
+                          MatchSemantics semantics, size_t limit,
+                          size_t max_steps, SubIsoStats* stats) {
+  if (stats != nullptr) {
+    *stats = SubIsoStats();
+  }
+  if (query.empty()) return {};
+  IsoSearcher searcher(query, g, semantics, limit, max_steps, stats);
+  return searcher.Run();
+}
+
+}  // namespace osq

@@ -1,0 +1,38 @@
+// SubIso — traditional subgraph isomorphism with identical label matching,
+// the paper's primary baseline (its reference [32]).
+//
+// Independent of the KMatch search kernel on purpose: property tests
+// cross-check the two implementations against each other, and benches
+// compare "match the whole graph" against "filter then match G_v".
+
+#ifndef OSQ_BASELINE_SUBISO_H_
+#define OSQ_BASELINE_SUBISO_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/match.h"
+#include "core/options.h"
+#include "graph/graph.h"
+
+namespace osq {
+
+struct SubIsoStats {
+  size_t search_steps = 0;
+  size_t matches_found = 0;
+  bool truncated = false;
+};
+
+// Enumerates matches of `query` in `g` where every matched node has the
+// *identical* node label and every query edge maps to a data edge with the
+// identical edge label (semantics: induced per the paper's definition, or
+// homomorphic).  Returns at most `limit` matches (0 = all), in discovery
+// order; each match's score is |V_Q| (all similarities are 1).
+// `max_steps` (0 = unlimited) bounds the backtracking search.
+std::vector<Match> SubIso(const Graph& query, const Graph& g,
+                          MatchSemantics semantics, size_t limit = 0,
+                          size_t max_steps = 0, SubIsoStats* stats = nullptr);
+
+}  // namespace osq
+
+#endif  // OSQ_BASELINE_SUBISO_H_

@@ -1,0 +1,41 @@
+// Lightweight assertion macros used across the library.
+//
+// OSQ_CHECK is evaluated in all build modes and aborts with a message on
+// failure; it guards invariants whose violation would make continuing
+// meaningless (index corruption, out-of-range ids coming from user input
+// that has already been validated).  OSQ_DCHECK compiles away in NDEBUG
+// builds and is used for hot-path internal invariants.
+
+#ifndef OSQ_COMMON_CHECK_H_
+#define OSQ_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define OSQ_CHECK(condition)                                              \
+  do {                                                                    \
+    if (!(condition)) {                                                   \
+      std::fprintf(stderr, "OSQ_CHECK failed at %s:%d: %s\n", __FILE__,   \
+                   __LINE__, #condition);                                 \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (false)
+
+#define OSQ_CHECK_MSG(condition, msg)                                     \
+  do {                                                                    \
+    if (!(condition)) {                                                   \
+      std::fprintf(stderr, "OSQ_CHECK failed at %s:%d: %s (%s)\n",        \
+                   __FILE__, __LINE__, #condition, msg);                  \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (false)
+
+#ifdef NDEBUG
+#define OSQ_DCHECK(condition) \
+  do {                        \
+  } while (false)
+#else
+#define OSQ_DCHECK(condition) OSQ_CHECK(condition)
+#endif
+
+#endif  // OSQ_COMMON_CHECK_H_

@@ -1,0 +1,54 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace osq {
+
+uint64_t Rng::Uniform(uint64_t lo, uint64_t hi) {
+  OSQ_DCHECK(lo <= hi);
+  std::uniform_int_distribution<uint64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+uint64_t Rng::Index(uint64_t n) {
+  OSQ_DCHECK(n > 0);
+  return Uniform(0, n - 1);
+}
+
+double Rng::Double() {
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  return dist(engine_);
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return Double() < p;
+}
+
+uint64_t Rng::Zipf(uint64_t n, double s) {
+  OSQ_DCHECK(n > 0);
+  if (s <= 0.0) return Index(n);
+  if (n != zipf_n_ || s != zipf_s_) {
+    zipf_n_ = n;
+    zipf_s_ = s;
+    zipf_cdf_.resize(n);
+    double sum = 0.0;
+    for (uint64_t i = 0; i < n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i + 1), s);
+      zipf_cdf_[i] = sum;
+    }
+    for (uint64_t i = 0; i < n; ++i) {
+      zipf_cdf_[i] /= sum;
+    }
+  }
+  double u = Double();
+  auto it = std::lower_bound(zipf_cdf_.begin(), zipf_cdf_.end(), u);
+  if (it == zipf_cdf_.end()) return n - 1;
+  return static_cast<uint64_t>(it - zipf_cdf_.begin());
+}
+
+}  // namespace osq

@@ -1,0 +1,56 @@
+// Seeded random number generator used by generators and property tests.
+// A thin wrapper around std::mt19937_64 so that every randomized component
+// takes an explicit seed and results are reproducible across runs.
+
+#ifndef OSQ_COMMON_RNG_H_
+#define OSQ_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace osq {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  // Uniform integer in [lo, hi] inclusive.  Requires lo <= hi.
+  uint64_t Uniform(uint64_t lo, uint64_t hi);
+
+  // Uniform integer in [0, n).  Requires n > 0.
+  uint64_t Index(uint64_t n);
+
+  // Uniform double in [0, 1).
+  double Double();
+
+  // Returns true with probability p (clamped to [0, 1]).
+  bool Bernoulli(double p);
+
+  // Zipf-distributed index in [0, n) with exponent s (s = 0 is uniform).
+  // Uses an inverse-CDF table built on first use for a given (n, s).
+  uint64_t Zipf(uint64_t n, double s);
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    if (v->empty()) return;
+    for (size_t i = v->size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(Index(i + 1));
+      std::swap((*v)[i], (*v)[j]);
+    }
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  // Cache for the Zipf table; rebuilt when (n, s) changes.
+  uint64_t zipf_n_ = 0;
+  double zipf_s_ = -1.0;
+  std::vector<double> zipf_cdf_;
+};
+
+}  // namespace osq
+
+#endif  // OSQ_COMMON_RNG_H_

@@ -1,0 +1,67 @@
+// A minimal Status type for operations that can fail for reasons outside
+// the program's control (I/O, malformed input files).  Library invariants
+// use OSQ_CHECK instead; Status is reserved for recoverable errors that a
+// caller may want to report to a user.
+
+#ifndef OSQ_COMMON_STATUS_H_
+#define OSQ_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace osq {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kIoError = 3,
+  kCorruption = 4,
+};
+
+// Value-semantic result of a fallible operation.  Default-constructed
+// Status is OK.  Copyable and movable.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string message) {
+    return Status(StatusCode::kInvalidArgument, std::move(message));
+  }
+  static Status NotFound(std::string message) {
+    return Status(StatusCode::kNotFound, std::move(message));
+  }
+  static Status IoError(std::string message) {
+    return Status(StatusCode::kIoError, std::move(message));
+  }
+  static Status Corruption(std::string message) {
+    return Status(StatusCode::kCorruption, std::move(message));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // Human-readable "CODE: message" rendering, "OK" for success.
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Propagates a non-OK status to the caller of the enclosing function.
+#define OSQ_RETURN_IF_ERROR(expr)            \
+  do {                                       \
+    ::osq::Status osq_status__ = (expr);     \
+    if (!osq_status__.ok()) {                \
+      return osq_status__;                   \
+    }                                        \
+  } while (false)
+
+}  // namespace osq
+
+#endif  // OSQ_COMMON_STATUS_H_

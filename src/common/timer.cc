@@ -1,0 +1,4 @@
+#include "common/timer.h"
+
+// WallTimer is header-only; this translation unit exists so the build
+// system has a stable object for the target.

@@ -1,0 +1,36 @@
+// Wall-clock timer for benchmark harnesses and engine statistics.
+
+#ifndef OSQ_COMMON_TIMER_H_
+#define OSQ_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace osq {
+
+// Measures elapsed wall-clock time.  Starts running on construction.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  // Elapsed time since construction or the last Restart, in milliseconds.
+  double ElapsedMillis() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+  // Elapsed time in microseconds.
+  double ElapsedMicros() const {
+    return std::chrono::duration<double, std::micro>(Clock::now() - start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace osq
+
+#endif  // OSQ_COMMON_TIMER_H_

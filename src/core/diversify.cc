@@ -1,0 +1,72 @@
+#include "core/diversify.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace osq {
+
+std::vector<Match> DiversifyMatches(const std::vector<Match>& ranked,
+                                    size_t k, double lambda) {
+  std::vector<Match> selected;
+  if (ranked.empty() || k == 0) return selected;
+  lambda = std::clamp(lambda, 0.0, 1.0);
+  if (lambda == 0.0) {
+    // Plain top-k prefix.
+    size_t take = std::min(k, ranked.size());
+    selected.assign(ranked.begin(), ranked.begin() + take);
+    return selected;
+  }
+
+  double max_score = ranked.front().score;
+  for (const Match& m : ranked) {
+    max_score = std::max(max_score, m.score);
+  }
+  if (max_score <= 0.0) max_score = 1.0;
+  size_t query_size = ranked.front().mapping.size();
+  OSQ_CHECK(query_size > 0);
+
+  std::vector<bool> used(ranked.size(), false);
+  std::unordered_set<NodeId> covered;
+  while (selected.size() < k) {
+    size_t best = ranked.size();
+    double best_gain = -1.0;
+    for (size_t i = 0; i < ranked.size(); ++i) {
+      if (used[i]) continue;
+      size_t fresh = 0;
+      for (NodeId v : ranked[i].mapping) {
+        if (covered.count(v) == 0) ++fresh;
+      }
+      double gain = (1.0 - lambda) * ranked[i].score / max_score +
+                    lambda * static_cast<double>(fresh) /
+                        static_cast<double>(query_size);
+      if (gain > best_gain + 1e-15) {
+        best_gain = gain;
+        best = i;
+      }
+    }
+    if (best == ranked.size()) break;
+    used[best] = true;
+    for (NodeId v : ranked[best].mapping) {
+      covered.insert(v);
+    }
+    selected.push_back(ranked[best]);
+  }
+  return selected;
+}
+
+double MatchDiversity(const std::vector<Match>& matches) {
+  if (matches.empty() || matches.front().mapping.empty()) return 0.0;
+  std::unordered_set<NodeId> distinct;
+  size_t slots = 0;
+  for (const Match& m : matches) {
+    slots += m.mapping.size();
+    for (NodeId v : m.mapping) {
+      distinct.insert(v);
+    }
+  }
+  return static_cast<double>(distinct.size()) / static_cast<double>(slots);
+}
+
+}  // namespace osq

@@ -1,0 +1,41 @@
+// Diversified top-k match selection.
+//
+// Ontology-based queries often return many matches that differ in a single
+// node (the paper's Flickr templates match thousands of photo/tag
+// combinations).  Result diversification — returning matches that are both
+// high-scoring AND cover different parts of the data graph — is the
+// natural extension studied in the follow-up literature on top-k graph
+// pattern matching.  This header implements the standard greedy
+// maximal-marginal-relevance selection over a ranked match list:
+//
+//   pick argmax_m (1 - lambda) * score(m)/max_score
+//                 + lambda * |nodes(m) \ covered| / |V_Q|
+//
+// lambda = 0 reduces to the plain top-k prefix; lambda = 1 maximizes node
+// coverage.  Purely a post-processing step: feed it the (k = 0 or large-k)
+// output of KMatch.
+
+#ifndef OSQ_CORE_DIVERSIFY_H_
+#define OSQ_CORE_DIVERSIFY_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/match.h"
+
+namespace osq {
+
+// Selects up to `k` matches from `ranked` (sorted best-first, as returned
+// by KMatch).  `lambda` in [0, 1] trades score for node-coverage novelty.
+// Deterministic: ties broken by input order.
+std::vector<Match> DiversifyMatches(const std::vector<Match>& ranked,
+                                    size_t k, double lambda);
+
+// Fraction of distinct data nodes covered by `matches` relative to the
+// total slots (|matches| * |V_Q|); 1.0 means fully disjoint matches.
+// Returns 0 for empty input.
+double MatchDiversity(const std::vector<Match>& matches);
+
+}  // namespace osq
+
+#endif  // OSQ_CORE_DIVERSIFY_H_

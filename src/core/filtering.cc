@@ -1,0 +1,314 @@
+#include "core/filtering.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+
+#include "common/check.h"
+#include "ontology/ontology_graph.h"
+
+namespace osq {
+
+namespace {
+
+// Exact candidate-label table for one query node: every data label within
+// Radius(theta) of the query label, with its similarity.
+std::unordered_map<LabelId, double> ExactLabelSims(
+    const OntologyGraph& o, const SimilarityFunction& sim, LabelId query_label,
+    double theta) {
+  std::unordered_map<LabelId, double> sims;
+  for (const LabelDistance& ld : o.BallAround(query_label, sim.Radius(theta))) {
+    sims.emplace(ld.label, sim.SimAtDistance(ld.distance));
+  }
+  // A query label absent from the ontology can still match identical data
+  // labels (sim == 1 by definition).
+  sims.emplace(query_label, 1.0);
+  return sims;
+}
+
+// All ontology labels within `radius` of any label in `sources` (labels
+// missing from the ontology contribute only themselves).
+std::vector<LabelId> MultiSourceBall(const OntologyGraph& o,
+                                     const std::unordered_map<LabelId, double>&
+                                         sources,
+                                     uint32_t radius) {
+  std::vector<LabelId> result;
+  std::unordered_map<LabelId, uint32_t> dist;
+  std::deque<LabelId> queue;
+  for (const auto& [label, unused_sim] : sources) {
+    if (dist.emplace(label, 0).second) {
+      result.push_back(label);
+      queue.push_back(label);
+    }
+  }
+  while (!queue.empty()) {
+    LabelId l = queue.front();
+    queue.pop_front();
+    uint32_t d = dist[l];
+    if (d >= radius) continue;
+    for (LabelId m : o.Neighbors(l)) {
+      if (dist.emplace(m, d + 1).second) {
+        result.push_back(m);
+        queue.push_back(m);
+      }
+    }
+  }
+  return result;
+}
+
+// Candidate block sets for every query node in one concept graph, or
+// empty-optional-style failure (returns false) when some query node has no
+// candidate block after refinement.
+bool BlockCandidates(const ConceptGraph& cg, const OntologyGraph& o,
+                     const SimilarityFunction& sim, const Graph& query,
+                     const QueryOptions& options,
+                     const std::vector<std::unordered_map<LabelId, double>>&
+                         exact_label_sims,
+                     std::vector<std::vector<BlockId>>* out,
+                     FilterStats* stats) {
+  size_t nq = query.num_nodes();
+  std::vector<std::vector<BlockId>> can(nq);
+  // in_can[u] is a dense membership bitmap over block ids.
+  std::vector<std::vector<bool>> in_can(nq);
+
+  for (NodeId u = 0; u < nq; ++u) {
+    LabelId ql = query.NodeLabel(u);
+    in_can[u].assign(cg.block_capacity(), false);
+    auto add_block = [&](BlockId b) {
+      if (!in_can[u][b]) {
+        in_can[u][b] = true;
+        can[u].push_back(b);
+      }
+    };
+    if (options.lazy_candidates) {
+      // Lazy strategy (paper, Gview line 4): candidate blocks are found by
+      // label distance alone, never by scanning members.  The paper admits
+      // every block whose concept label is within Radius(theta) +
+      // Radius(beta) of the query label; we use the (tighter, still lazy)
+      // equivalent test "within Radius(beta) of some exact candidate
+      // label", which is a subset by the triangle inequality yet still
+      // contains every block holding a true candidate.
+      for (LabelId l : MultiSourceBall(o, exact_label_sims[u],
+                                       sim.Radius(cg.beta()))) {
+        for (BlockId b : cg.BlocksWithLabel(l)) add_block(b);
+      }
+      // Uncovered labels group under themselves (see ConceptGraph::Build).
+      for (BlockId b : cg.BlocksWithLabel(ql)) add_block(b);
+    } else {
+      // Exact (ablation): only blocks holding at least one node whose label
+      // clears theta.  Costs a scan of block members.
+      const auto& sims = exact_label_sims[u];
+      for (BlockId b : cg.AliveBlocks()) {
+        for (NodeId v : cg.Members(b)) {
+          if (sims.count(cg.data_graph().NodeLabel(v)) > 0) {
+            add_block(b);
+            break;
+          }
+        }
+      }
+    }
+    stats->initial_blocks += can[u].size();
+    if (can[u].empty()) return false;
+  }
+
+  // Fixpoint refinement over query edges (paper, Gview lines 5-10): drop a
+  // candidate block when a query edge has no corresponding block edge.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::vector<EdgeTriple> qedges = query.EdgeList();
+    for (const EdgeTriple& e : qedges) {
+      NodeId q1 = e.from;
+      NodeId q2 = e.to;
+      // Forward: each candidate of q1 needs a successor block in can[q2].
+      auto prune = [&](NodeId holder, NodeId other, bool forward) {
+        std::vector<BlockId>& list = can[holder];
+        size_t kept = 0;
+        for (size_t i = 0; i < list.size(); ++i) {
+          BlockId b = list[i];
+          // Honor the query edge label when the index is label-aware.
+          bool ok = forward
+                        ? cg.HasSuccessorInSet(b, in_can[other], e.label)
+                        : cg.HasPredecessorInSet(b, in_can[other], e.label);
+          if (ok) {
+            list[kept++] = b;
+          } else {
+            in_can[holder][b] = false;
+            ++stats->pruned_blocks;
+            changed = true;
+          }
+        }
+        list.resize(kept);
+      };
+      prune(q1, q2, /*forward=*/true);
+      if (can[q1].empty()) return false;
+      prune(q2, q1, /*forward=*/false);
+      if (can[q2].empty()) return false;
+    }
+  }
+  *out = std::move(can);
+  return true;
+}
+
+}  // namespace
+
+FilterResult GviewFilter(const OntologyIndex& index, const Graph& query,
+                         const QueryOptions& options) {
+  FilterResult result;
+  const Graph& g = index.data_graph();
+  const OntologyGraph& o = index.ontology();
+  const SimilarityFunction& sim = index.sim();
+  size_t nq = query.num_nodes();
+  OSQ_CHECK(nq > 0);
+
+  // Exact candidate-label tables are needed for final pruning (and for the
+  // non-lazy ablation); one ontology ball per query node.  Labels carried
+  // by no data node cannot produce candidates and are dropped immediately,
+  // which also tightens the lazy block selection below.
+  std::vector<std::unordered_map<LabelId, double>> exact_label_sims;
+  exact_label_sims.reserve(nq);
+  for (NodeId u = 0; u < nq; ++u) {
+    std::unordered_map<LabelId, double> sims =
+        ExactLabelSims(o, sim, query.NodeLabel(u), options.theta);
+    for (auto it = sims.begin(); it != sims.end();) {
+      if (index.LabelOccursInData(it->first)) {
+        ++it;
+      } else {
+        it = sims.erase(it);
+      }
+    }
+    if (sims.empty()) {
+      result.no_match = true;
+      return result;
+    }
+    exact_label_sims.push_back(std::move(sims));
+  }
+
+  // mat(u): data-node candidate sets, intersected across concept graphs
+  // (paper, Gview lines 3-10).
+  std::vector<std::vector<NodeId>> mat(nq);
+  bool first_graph = true;
+  for (size_t i = 0; i < index.num_concept_graphs(); ++i) {
+    const ConceptGraph& cg = index.concept_graph(i);
+    std::vector<std::vector<BlockId>> can;
+    if (!BlockCandidates(cg, o, sim, query, options, exact_label_sims, &can,
+                         &result.stats)) {
+      result.no_match = true;
+      return result;
+    }
+    for (NodeId u = 0; u < nq; ++u) {
+      std::vector<NodeId> nodes;
+      for (BlockId b : can[u]) {
+        const std::vector<NodeId>& ms = cg.Members(b);
+        nodes.insert(nodes.end(), ms.begin(), ms.end());
+      }
+      std::sort(nodes.begin(), nodes.end());
+      if (first_graph) {
+        mat[u] = std::move(nodes);
+      } else {
+        std::vector<NodeId> inter;
+        std::set_intersection(mat[u].begin(), mat[u].end(), nodes.begin(),
+                              nodes.end(), std::back_inserter(inter));
+        mat[u] = std::move(inter);
+      }
+      if (mat[u].empty()) {
+        result.no_match = true;
+        return result;
+      }
+    }
+    first_graph = false;
+  }
+
+  // Exact theta pruning: the lazy strategy over-approximates; keep only
+  // data nodes whose label truly clears the threshold, remembering sims.
+  std::vector<std::vector<std::pair<NodeId, double>>> exact(nq);
+  for (NodeId u = 0; u < nq; ++u) {
+    const auto& sims = exact_label_sims[u];
+    for (NodeId v : mat[u]) {
+      auto it = sims.find(g.NodeLabel(v));
+      if (it != sims.end()) {
+        exact[u].push_back({v, it->second});
+      }
+    }
+    if (exact[u].empty()) {
+      result.no_match = true;
+      return result;
+    }
+  }
+
+  // Node-level refinement: drop a candidate v of query node u when some
+  // query edge (u, u') has no edge-label-matching counterpart from v into
+  // the candidates of u' (and symmetrically for incoming edges).  Matches
+  // always satisfy this, so pruning is lossless; it is what shrinks G_v to
+  // exactly the union of near-matches (cf. Fig. 9's G_v).
+  {
+    std::vector<std::vector<bool>> is_cand(nq);
+    for (NodeId u = 0; u < nq; ++u) {
+      is_cand[u].assign(g.num_nodes(), false);
+      for (const auto& [v, s] : exact[u]) is_cand[u][v] = true;
+    }
+    std::vector<EdgeTriple> qedges = query.EdgeList();
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const EdgeTriple& e : qedges) {
+        auto prune = [&](NodeId holder, NodeId other, bool forward) {
+          auto& list = exact[holder];
+          size_t kept = 0;
+          for (size_t i = 0; i < list.size(); ++i) {
+            NodeId v = list[i].first;
+            bool ok = false;
+            const auto& adj = forward ? g.OutEdges(v) : g.InEdges(v);
+            for (const AdjEntry& a : adj) {
+              if (a.label == e.label && is_cand[other][a.node]) {
+                ok = true;
+                break;
+              }
+            }
+            if (ok) {
+              list[kept++] = list[i];
+            } else {
+              is_cand[holder][v] = false;
+              changed = true;
+            }
+          }
+          list.resize(kept);
+        };
+        prune(e.from, e.to, /*forward=*/true);
+        if (exact[e.from].empty()) {
+          result.no_match = true;
+          return result;
+        }
+        prune(e.to, e.from, /*forward=*/false);
+        if (exact[e.to].empty()) {
+          result.no_match = true;
+          return result;
+        }
+      }
+    }
+  }
+
+  // Materialize G_v induced by the union of all candidates.
+  std::vector<NodeId> all_nodes;
+  for (NodeId u = 0; u < nq; ++u) {
+    for (const auto& [v, s] : exact[u]) all_nodes.push_back(v);
+  }
+  result.gv = InducedSubgraph(g, all_nodes);
+  result.stats.gv_nodes = result.gv.graph.num_nodes();
+  result.stats.gv_edges = result.gv.graph.num_edges();
+
+  result.candidates.resize(nq);
+  for (NodeId u = 0; u < nq; ++u) {
+    for (const auto& [v, s] : exact[u]) {
+      result.candidates[u].push_back({result.gv.from_original[v], s});
+    }
+    std::sort(result.candidates[u].begin(), result.candidates[u].end(),
+              [](const Candidate& a, const Candidate& b) {
+                if (a.sim != b.sim) return a.sim > b.sim;
+                return a.node < b.node;
+              });
+  }
+  return result;
+}
+
+}  // namespace osq

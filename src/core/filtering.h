@@ -1,0 +1,75 @@
+// The filtering phase of the framework — algorithm Gview (paper §IV-B).
+//
+// Instead of matching the query against the whole data graph, Gview uses
+// the ontology index to extract a small subgraph G_v that provably contains
+// every match (Prop. 4.2): if G_v is empty then Q(G) is empty, otherwise
+// Q(G) = Q(G_v).
+//
+// Per concept graph G_o in the index:
+//   1. *Lazy* candidate initialization: a block b is a candidate for query
+//      node u when dist_O(L_q(u), label(b)) <= Radius(theta) + Radius(beta)
+//      — correct because any data node v matching u satisfies
+//      dist(L_q(u), L(v)) <= Radius(theta) and v's block label satisfies
+//      dist(L(v), label(b)) <= Radius(beta), so the triangle inequality
+//      bounds the concept-label distance.  (An ablation option replaces
+//      this with exact per-node candidate computation.)
+//   2. Fixpoint refinement: a candidate block of u is dropped when some
+//      query edge (u, u') has no corresponding block edge into (resp. from)
+//      a candidate of u' — sound because the concept-graph invariant makes
+//      one member representative for the whole block.
+//   3. mat(u) is intersected across concept graphs.
+// Finally the surviving data nodes are checked against the *exact*
+// similarity threshold theta and G_v is materialized as the induced
+// subgraph of their union, with per-query-node candidate lists annotated
+// with similarities (consumed by KMatch).
+
+#ifndef OSQ_CORE_FILTERING_H_
+#define OSQ_CORE_FILTERING_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/ontology_index.h"
+#include "core/options.h"
+#include "graph/graph.h"
+#include "graph/subgraph.h"
+#include "graph/types.h"
+
+namespace osq {
+
+struct FilterStats {
+  // Candidate blocks right after lazy initialization, summed over query
+  // nodes and concept graphs.
+  size_t initial_blocks = 0;
+  // Candidate blocks dropped by the fixpoint refinement.
+  size_t pruned_blocks = 0;
+  // Size of the extracted G_v.
+  size_t gv_nodes = 0;
+  size_t gv_edges = 0;
+};
+
+// One data-node candidate for a query node, with its exact similarity.
+struct Candidate {
+  NodeId node;  // id in G_v (see FilterResult::gv)
+  double sim;   // sim(L_q(u), L(node)) >= theta
+};
+
+struct FilterResult {
+  // True when the filter proved Q(G) empty; all other fields are empty.
+  bool no_match = false;
+  // The extracted subgraph G_v, with mappings to original node ids.
+  Subgraph gv;
+  // candidates[u] lists the G_v nodes that may match query node u, sorted
+  // by descending similarity (ties: ascending node id).
+  std::vector<std::vector<Candidate>> candidates;
+  FilterStats stats;
+};
+
+// Runs Gview for `query` over the index.  `query` must be a valid query
+// graph (see ValidateQuery); options.theta in (0, 1].
+FilterResult GviewFilter(const OntologyIndex& index, const Graph& query,
+                         const QueryOptions& options);
+
+}  // namespace osq
+
+#endif  // OSQ_CORE_FILTERING_H_

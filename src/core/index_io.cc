@@ -1,0 +1,196 @@
+#include "core/index_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace osq {
+
+namespace {
+
+constexpr char kHeader[] = "# osq index v1";
+
+}  // namespace
+
+Status SaveIndex(const OntologyIndex& index, const LabelDictionary& dict,
+                 std::ostream* out) {
+  if (out == nullptr) {
+    return Status::InvalidArgument("null output stream");
+  }
+  const IndexOptions& opt = index.options();
+  *out << kHeader << '\n';
+  *out << "options " << static_cast<int>(opt.similarity_model) << ' '
+       << opt.similarity_base << ' ' << opt.similarity_cutoff << ' '
+       << opt.beta << ' ' << index.num_concept_graphs() << ' '
+       << opt.num_clusters << ' ' << opt.seed << ' '
+       << (opt.edge_label_aware ? 1 : 0) << '\n';
+  for (size_t i = 0; i < index.num_concept_graphs(); ++i) {
+    const ConceptGraph& cg = index.concept_graph(i);
+    std::vector<BlockId> blocks = cg.AliveBlocks();
+    *out << "conceptgraph " << i << ' ' << cg.concept_labels().size() << ' '
+         << blocks.size() << '\n';
+    *out << "concepts";
+    for (LabelId l : cg.concept_labels()) {
+      *out << ' ' << dict.Name(l);
+    }
+    *out << '\n';
+    for (BlockId b : blocks) {
+      *out << "block " << dict.Name(cg.BlockLabel(b)) << ' '
+           << cg.Members(b).size();
+      for (NodeId v : cg.Members(b)) {
+        *out << ' ' << v;
+      }
+      *out << '\n';
+    }
+  }
+  if (!out->good()) {
+    return Status::IoError("write failed");
+  }
+  return Status::Ok();
+}
+
+Status SaveIndexToFile(const OntologyIndex& index,
+                       const LabelDictionary& dict, const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  return SaveIndex(index, dict, &out);
+}
+
+Status LoadIndex(std::istream* in, const Graph& g, const OntologyGraph& o,
+                 LabelDictionary* dict, OntologyIndex* out) {
+  if (in == nullptr || dict == nullptr || out == nullptr) {
+    return Status::InvalidArgument("null argument to LoadIndex");
+  }
+  std::string line;
+  if (!std::getline(*in, line) || line != kHeader) {
+    return Status::Corruption("missing index header");
+  }
+  IndexOptions options;
+  size_t num_graphs = 0;
+  {
+    if (!std::getline(*in, line)) {
+      return Status::Corruption("missing options record");
+    }
+    std::istringstream ls(line);
+    std::string tag;
+    int model = 0;
+    int aware = 0;
+    if (!(ls >> tag >> model >> options.similarity_base >>
+          options.similarity_cutoff >> options.beta >> num_graphs >>
+          options.num_clusters >> options.seed >> aware) ||
+        tag != "options") {
+      return Status::Corruption("bad options record");
+    }
+    if (model < 0 || model > static_cast<int>(SimilarityModel::kReciprocal)) {
+      return Status::Corruption("unknown similarity model");
+    }
+    options.similarity_model = static_cast<SimilarityModel>(model);
+    options.edge_label_aware = aware != 0;
+    options.num_concept_graphs = num_graphs;
+    if (num_graphs == 0 || options.similarity_base <= 0.0 ||
+        options.similarity_base >= 1.0 || options.similarity_cutoff == 0) {
+      return Status::Corruption("implausible index options");
+    }
+  }
+
+  SimilarityFunction sim = MakeSimilarity(options);
+  ConceptGraphOptions cg_options;
+  cg_options.beta = options.beta;
+  cg_options.edge_label_aware = options.edge_label_aware;
+
+  std::vector<ConceptGraph> graphs;
+  for (size_t i = 0; i < num_graphs; ++i) {
+    size_t idx = 0;
+    size_t num_concepts = 0;
+    size_t num_blocks = 0;
+    if (!std::getline(*in, line)) {
+      return Status::Corruption("missing conceptgraph record");
+    }
+    {
+      std::istringstream ls(line);
+      std::string tag;
+      if (!(ls >> tag >> idx >> num_concepts >> num_blocks) ||
+          tag != "conceptgraph" || idx != i) {
+        return Status::Corruption("bad conceptgraph record");
+      }
+    }
+    std::vector<LabelId> concepts;
+    if (!std::getline(*in, line)) {
+      return Status::Corruption("missing concepts record");
+    }
+    {
+      std::istringstream ls(line);
+      std::string tag;
+      ls >> tag;
+      if (tag != "concepts") {
+        return Status::Corruption("bad concepts record");
+      }
+      std::string name;
+      while (ls >> name) {
+        concepts.push_back(dict->Intern(name));
+      }
+      if (concepts.size() != num_concepts) {
+        return Status::Corruption("concept count mismatch");
+      }
+    }
+    std::vector<std::pair<LabelId, std::vector<NodeId>>> blocks;
+    std::vector<bool> seen(g.num_nodes(), false);
+    size_t covered = 0;
+    for (size_t b = 0; b < num_blocks; ++b) {
+      if (!std::getline(*in, line)) {
+        return Status::Corruption("missing block record");
+      }
+      std::istringstream ls(line);
+      std::string tag;
+      std::string label;
+      size_t count = 0;
+      if (!(ls >> tag >> label >> count) || tag != "block" || count == 0) {
+        return Status::Corruption("bad block record");
+      }
+      std::vector<NodeId> members;
+      members.reserve(count);
+      uint64_t v = 0;
+      while (ls >> v) {
+        if (v >= g.num_nodes()) {
+          return Status::Corruption("block references unknown node");
+        }
+        if (seen[v]) {
+          return Status::Corruption("node assigned to two blocks");
+        }
+        seen[v] = true;
+        members.push_back(static_cast<NodeId>(v));
+      }
+      if (members.size() != count) {
+        return Status::Corruption("block member count mismatch");
+      }
+      covered += members.size();
+      blocks.emplace_back(dict->Intern(label), std::move(members));
+    }
+    if (covered != g.num_nodes()) {
+      return Status::Corruption("partition does not cover the graph");
+    }
+    graphs.push_back(ConceptGraph::FromPartition(g, o, sim, cg_options,
+                                                 std::move(concepts),
+                                                 blocks));
+    if (!graphs.back().Validate()) {
+      return Status::Corruption(
+          "index file does not match the graph (invariants violated)");
+    }
+  }
+  *out = OntologyIndex::FromParts(g, o, options, std::move(graphs));
+  return Status::Ok();
+}
+
+Status LoadIndexFromFile(const std::string& path, const Graph& g,
+                         const OntologyGraph& o, LabelDictionary* dict,
+                         OntologyIndex* out) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::IoError("cannot open for reading: " + path);
+  }
+  return LoadIndex(&in, g, o, dict, out);
+}
+
+}  // namespace osq

@@ -1,0 +1,47 @@
+// Persistence for the ontology index.
+//
+// The index is "computed once for all" (paper §III), so a long-lived
+// deployment saves it next to the data graph and reloads it at startup
+// instead of rebuilding.  The text format references data nodes by id and
+// labels by NAME, so an index file is valid for exactly the graph file it
+// was built from, loaded through any dictionary:
+//
+//   # osq index v1
+//   options <base> <beta> <N> <clusters> <seed> <aware01> <coarsen> <peers>
+//   conceptgraph <i> <#concepts> <#blocks>
+//   concepts <name>...
+//   block <label-name> <#members> <node-id>...
+//
+// LoadIndexFromFile re-validates the partition invariants against the
+// provided graph/ontology and fails with Corruption on any mismatch, so a
+// stale index cannot silently serve wrong filters.
+
+#ifndef OSQ_CORE_INDEX_IO_H_
+#define OSQ_CORE_INDEX_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/status.h"
+#include "core/ontology_index.h"
+#include "graph/label_dictionary.h"
+
+namespace osq {
+
+Status SaveIndex(const OntologyIndex& index, const LabelDictionary& dict,
+                 std::ostream* out);
+Status SaveIndexToFile(const OntologyIndex& index,
+                       const LabelDictionary& dict, const std::string& path);
+
+// Loads an index previously saved for (g, o).  `g` and `o` must outlive
+// the result.  Fails with Corruption when the file does not describe a
+// valid concept-graph partition of `g`.
+Status LoadIndex(std::istream* in, const Graph& g, const OntologyGraph& o,
+                 LabelDictionary* dict, OntologyIndex* out);
+Status LoadIndexFromFile(const std::string& path, const Graph& g,
+                         const OntologyGraph& o, LabelDictionary* dict,
+                         OntologyIndex* out);
+
+}  // namespace osq
+
+#endif  // OSQ_CORE_INDEX_IO_H_

@@ -1,0 +1,237 @@
+#include "core/kmatch.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace osq {
+
+namespace {
+
+// Strict-inequality slack when comparing score bounds against the current
+// K-th best, so equal-score matches are still explored and ties resolve
+// deterministically via MatchBetter.
+constexpr double kScoreEps = 1e-12;
+
+class Searcher {
+ public:
+  Searcher(const Graph& query, const Graph& target,
+           const std::vector<std::vector<Candidate>>& candidates,
+           const QueryOptions& options, KMatchStats* stats)
+      : query_(query),
+        target_(target),
+        candidates_(candidates),
+        options_(options),
+        stats_(stats) {}
+
+  std::vector<Match> Run() {
+    size_t nq = query_.num_nodes();
+    OSQ_CHECK(candidates_.size() == nq);
+    for (NodeId u = 0; u < nq; ++u) {
+      if (candidates_[u].empty()) return {};
+    }
+    BuildOrder();
+    BuildSuffixBounds();
+    assign_.assign(nq, kInvalidNode);
+    used_.assign(target_.num_nodes(), false);
+    Recurse(0, 0.0);
+    if (options_.k == 0) {
+      std::sort(results_.begin(), results_.end(), MatchBetter());
+    }
+    if (stats_ != nullptr) {
+      stats_->search_steps = steps_;
+      stats_->matches_found = found_;
+      stats_->truncated = truncated_;
+    }
+    return std::move(results_);
+  }
+
+ private:
+  // Query-node matching order: start at the node with the fewest
+  // candidates, then greedily extend by (most assigned neighbors, fewest
+  // candidates) so partial assignments stay connected and constrained.
+  void BuildOrder() {
+    size_t nq = query_.num_nodes();
+    std::vector<bool> placed(nq, false);
+    order_.clear();
+    order_.reserve(nq);
+    auto cand_size = [&](NodeId u) { return candidates_[u].size(); };
+    NodeId first = 0;
+    for (NodeId u = 1; u < nq; ++u) {
+      if (cand_size(u) < cand_size(first)) first = u;
+    }
+    order_.push_back(first);
+    placed[first] = true;
+    while (order_.size() < nq) {
+      NodeId best = kInvalidNode;
+      size_t best_conn = 0;
+      for (NodeId u = 0; u < nq; ++u) {
+        if (placed[u]) continue;
+        size_t conn = 0;
+        for (const AdjEntry& e : query_.OutEdges(u)) {
+          if (placed[e.node]) ++conn;
+        }
+        for (const AdjEntry& e : query_.InEdges(u)) {
+          if (placed[e.node]) ++conn;
+        }
+        if (best == kInvalidNode || conn > best_conn ||
+            (conn == best_conn && cand_size(u) < cand_size(best))) {
+          best = u;
+          best_conn = conn;
+        }
+      }
+      order_.push_back(best);
+      placed[best] = true;
+    }
+  }
+
+  // suffix_best_[i] = maximum total similarity attainable by query nodes
+  // order_[i..]; candidates are sorted by descending sim, so entry 0 is
+  // each node's optimum.
+  void BuildSuffixBounds() {
+    size_t nq = order_.size();
+    suffix_best_.assign(nq + 1, 0.0);
+    for (size_t i = nq; i > 0; --i) {
+      suffix_best_[i - 1] =
+          suffix_best_[i] + candidates_[order_[i - 1]][0].sim;
+    }
+  }
+
+  // Edge-compatibility of mapping q -> v against every already-assigned
+  // query node, under the configured semantics.
+  bool Consistent(NodeId q, NodeId v, size_t depth) const {
+    for (size_t i = 0; i < depth; ++i) {
+      NodeId q2 = order_[i];
+      NodeId v2 = assign_[q2];
+      std::vector<LabelId> q_fwd = query_.EdgeLabelsBetween(q, q2);
+      std::vector<LabelId> d_fwd = target_.EdgeLabelsBetween(v, v2);
+      std::vector<LabelId> q_bwd = query_.EdgeLabelsBetween(q2, q);
+      std::vector<LabelId> d_bwd = target_.EdgeLabelsBetween(v2, v);
+      if (options_.semantics == MatchSemantics::kInduced) {
+        if (q_fwd != d_fwd || q_bwd != d_bwd) return false;
+      } else {
+        if (!std::includes(d_fwd.begin(), d_fwd.end(), q_fwd.begin(),
+                           q_fwd.end()) ||
+            !std::includes(d_bwd.begin(), d_bwd.end(), q_bwd.begin(),
+                           q_bwd.end())) {
+          return false;
+        }
+      }
+    }
+    // Self-loops must agree as well.
+    std::vector<LabelId> q_self = query_.EdgeLabelsBetween(q, q);
+    std::vector<LabelId> d_self = target_.EdgeLabelsBetween(v, v);
+    if (options_.semantics == MatchSemantics::kInduced) {
+      return q_self == d_self;
+    }
+    return std::includes(d_self.begin(), d_self.end(), q_self.begin(),
+                         q_self.end());
+  }
+
+  bool HaveK() const {
+    return options_.k > 0 && results_.size() == options_.k;
+  }
+
+  double Threshold() const { return results_.back().score; }
+
+  void Record(double score) {
+    ++found_;
+    Match m;
+    m.mapping.assign(query_.num_nodes(), kInvalidNode);
+    for (size_t i = 0; i < order_.size(); ++i) {
+      m.mapping[order_[i]] = assign_[order_[i]];
+    }
+    m.score = score;
+    if (options_.k == 0) {
+      // Enumerating everything: append now, sort once in Run().
+      results_.push_back(std::move(m));
+      return;
+    }
+    auto pos = std::upper_bound(results_.begin(), results_.end(), m,
+                                MatchBetter());
+    results_.insert(pos, std::move(m));
+    if (results_.size() > options_.k) {
+      results_.pop_back();
+    }
+  }
+
+  void Recurse(size_t depth, double score) {
+    if (truncated_) return;
+    ++steps_;
+    if (options_.max_search_steps > 0 && steps_ > options_.max_search_steps) {
+      truncated_ = true;
+      return;
+    }
+    if (depth == order_.size()) {
+      Record(score);
+      return;
+    }
+    NodeId q = order_[depth];
+    for (const Candidate& c : candidates_[q]) {
+      double bound = score + c.sim + suffix_best_[depth + 1];
+      // Candidates are sorted by sim, so all later bounds are worse.  Once
+      // K matches are held, a branch that cannot STRICTLY beat the current
+      // K-th score is abandoned: ties beyond the K-th are interchangeable
+      // under top-K semantics, and exploring them all is exponential on
+      // graphs with many equal-similarity candidates.
+      if (HaveK() && bound <= Threshold() + kScoreEps) {
+        break;
+      }
+      if (used_[c.node]) continue;
+      if (!Consistent(q, c.node, depth)) continue;
+      assign_[q] = c.node;
+      used_[c.node] = true;
+      Recurse(depth + 1, score + c.sim);
+      used_[c.node] = false;
+      assign_[q] = kInvalidNode;
+      if (truncated_) return;
+    }
+  }
+
+  const Graph& query_;
+  const Graph& target_;
+  const std::vector<std::vector<Candidate>>& candidates_;
+  QueryOptions options_;
+  KMatchStats* stats_;
+
+  std::vector<NodeId> order_;
+  std::vector<double> suffix_best_;
+  std::vector<NodeId> assign_;
+  std::vector<bool> used_;
+  std::vector<Match> results_;  // kept sorted by MatchBetter, size <= k
+  size_t steps_ = 0;
+  size_t found_ = 0;
+  bool truncated_ = false;
+};
+
+}  // namespace
+
+std::vector<Match> KMatchOnGraph(
+    const Graph& query, const Graph& target,
+    const std::vector<std::vector<Candidate>>& candidates,
+    const QueryOptions& options, KMatchStats* stats) {
+  if (stats != nullptr) {
+    *stats = KMatchStats();
+  }
+  if (query.empty()) return {};
+  Searcher searcher(query, target, candidates, options, stats);
+  return searcher.Run();
+}
+
+std::vector<Match> KMatch(const Graph& query, const FilterResult& filter,
+                          const QueryOptions& options, KMatchStats* stats) {
+  if (stats != nullptr) {
+    *stats = KMatchStats();
+  }
+  if (filter.no_match) return {};
+  std::vector<Match> local =
+      KMatchOnGraph(query, filter.gv.graph, filter.candidates, options, stats);
+  for (Match& m : local) {
+    for (NodeId& v : m.mapping) {
+      v = filter.gv.to_original[v];
+    }
+  }
+  return local;
+}
+
+}  // namespace osq

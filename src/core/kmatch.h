@@ -1,0 +1,56 @@
+// The verification phase — algorithm KMatch (paper §V).
+//
+// KMatch receives the compact subgraph G_v and the per-query-node candidate
+// lists produced by Gview (each sorted by descending similarity) and
+// enumerates ontology-based matches by backtracking, maintaining a
+// min-heap of the K best matches found so far.  Branches whose optimistic
+// score bound (current score + best possible remaining similarity) cannot
+// beat the current K-th best are pruned — together with the
+// similarity-sorted candidate lists this realizes the paper's "construct
+// node lists with maximum overall similarity first" strategy without
+// materializing the combination lattice.
+//
+// Matching semantics follow QueryOptions::semantics; the paper's
+// definition (induced / "iff") is the default.
+
+#ifndef OSQ_CORE_KMATCH_H_
+#define OSQ_CORE_KMATCH_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/filtering.h"
+#include "core/match.h"
+#include "core/options.h"
+#include "graph/graph.h"
+
+namespace osq {
+
+struct KMatchStats {
+  // Backtracking search-tree nodes visited.
+  size_t search_steps = 0;
+  // Complete assignments that passed all checks.
+  size_t matches_found = 0;
+  // True when max_search_steps stopped the enumeration early.
+  bool truncated = false;
+};
+
+// Enumerates the top-K matches of `query` inside the filter result
+// (`filter.gv` + `filter.candidates`).  Returned matches use ORIGINAL data
+// graph node ids (translated via filter.gv.to_original) and are sorted by
+// MatchBetter.  With options.k == 0 all matches are returned.
+std::vector<Match> KMatch(const Graph& query, const FilterResult& filter,
+                          const QueryOptions& options,
+                          KMatchStats* stats = nullptr);
+
+// Lower-level entry point used by baselines and tests: matches `query`
+// against `target` given explicit candidate lists (target-local ids,
+// sorted by descending similarity).  Results use target-local ids.
+std::vector<Match> KMatchOnGraph(
+    const Graph& query, const Graph& target,
+    const std::vector<std::vector<Candidate>>& candidates,
+    const QueryOptions& options, KMatchStats* stats = nullptr);
+
+}  // namespace osq
+
+#endif  // OSQ_CORE_KMATCH_H_

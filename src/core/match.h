@@ -1,0 +1,33 @@
+// Match representation shared by the engine and the baselines.
+
+#ifndef OSQ_CORE_MATCH_H_
+#define OSQ_CORE_MATCH_H_
+
+#include <vector>
+
+#include "graph/types.h"
+
+namespace osq {
+
+// One match of a query: mapping[u] is the data-graph node matched to query
+// node u, and score = sum over query nodes of sim(L_q(u), L(mapping[u]))
+// (paper's C(h)).  For identical-label isomorphism the score equals |V_Q|.
+struct Match {
+  std::vector<NodeId> mapping;
+  double score = 0.0;
+
+  friend bool operator==(const Match&, const Match&) = default;
+};
+
+// Canonical result order: best score first; ties broken by lexicographic
+// mapping so results are deterministic and comparable across algorithms.
+struct MatchBetter {
+  bool operator()(const Match& a, const Match& b) const {
+    if (a.score != b.score) return a.score > b.score;
+    return a.mapping < b.mapping;
+  }
+};
+
+}  // namespace osq
+
+#endif  // OSQ_CORE_MATCH_H_

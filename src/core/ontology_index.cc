@@ -1,0 +1,94 @@
+#include "core/ontology_index.h"
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "ontology/ontology_partition.h"
+
+namespace osq {
+
+SimilarityFunction MakeSimilarity(const IndexOptions& options) {
+  switch (options.similarity_model) {
+    case SimilarityModel::kLinear:
+      return SimilarityFunction::Linear(options.similarity_cutoff);
+    case SimilarityModel::kReciprocal:
+      return SimilarityFunction::Reciprocal();
+    case SimilarityModel::kExponential:
+      break;
+  }
+  return SimilarityFunction::Exponential(options.similarity_base);
+}
+
+OntologyIndex OntologyIndex::Build(const Graph& g, const OntologyGraph& o,
+                                   const IndexOptions& options,
+                                   IndexBuildStats* stats) {
+  OSQ_CHECK(options.num_concept_graphs >= 1);
+  OntologyIndex index;
+  index.g_ = &g;
+  index.o_ = &o;
+  index.sim_ = MakeSimilarity(options);
+  index.options_ = options;
+
+  Rng rng(options.seed);
+  ConceptGraphOptions cg_options;
+  cg_options.beta = options.beta;
+  cg_options.edge_label_aware = options.edge_label_aware;
+
+  IndexBuildStats local;
+  for (size_t i = 0; i < options.num_concept_graphs; ++i) {
+    std::vector<LabelId> concepts = SelectConceptLabels(
+        o, index.sim_, options.beta, options.num_clusters, &rng);
+    ConceptGraphStats cg_stats;
+    index.graphs_.push_back(ConceptGraph::Build(
+        g, o, index.sim_, cg_options, std::move(concepts), &cg_stats));
+    local.total_blocks += cg_stats.final_blocks;
+    local.total_splits += cg_stats.splits;
+    local.per_graph.push_back(cg_stats);
+  }
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    index.RegisterDataLabel(g.NodeLabel(v));
+  }
+  if (stats != nullptr) {
+    *stats = local;
+  }
+  return index;
+}
+
+OntologyIndex OntologyIndex::FromParts(const Graph& g, const OntologyGraph& o,
+                                       const IndexOptions& options,
+                                       std::vector<ConceptGraph> graphs) {
+  OSQ_CHECK(!graphs.empty());
+  OntologyIndex index;
+  index.g_ = &g;
+  index.o_ = &o;
+  index.sim_ = MakeSimilarity(options);
+  index.options_ = options;
+  index.graphs_ = std::move(graphs);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    index.RegisterDataLabel(g.NodeLabel(v));
+  }
+  return index;
+}
+
+void OntologyIndex::RegisterDataLabel(LabelId label) {
+  if (label >= data_label_count_.size()) {
+    data_label_count_.resize(label + 1, 0);
+  }
+  ++data_label_count_[label];
+}
+
+size_t OntologyIndex::TotalSize() const {
+  size_t total = 0;
+  for (const ConceptGraph& cg : graphs_) {
+    total += cg.SizeNodesPlusEdges();
+  }
+  return total;
+}
+
+bool OntologyIndex::Validate() const {
+  for (const ConceptGraph& cg : graphs_) {
+    if (!cg.Validate()) return false;
+  }
+  return true;
+}
+
+}  // namespace osq

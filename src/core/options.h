@@ -1,0 +1,67 @@
+// User-facing option structs for index construction and query evaluation.
+
+#ifndef OSQ_CORE_OPTIONS_H_
+#define OSQ_CORE_OPTIONS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "ontology/similarity.h"
+
+namespace osq {
+
+// How a match's edges must relate to the query's edges (paper §II-B).
+enum class MatchSemantics {
+  // The paper's definition: (u, u') is a query edge *iff* (h(u), h(u')) is a
+  // data edge with the same label — matches are induced subgraphs.
+  kInduced,
+  // The common relaxation: every query edge must be present in the match,
+  // extra data edges among matched nodes are allowed.
+  kHomomorphicEdges,
+};
+
+// Parameters of ontology index construction (paper §IV-A, algorithm
+// OntoIdx).
+struct IndexOptions {
+  // Which member of the similarity-function class to use (paper default:
+  // exponential decay).  See ontology/similarity.h.
+  SimilarityModel similarity_model = SimilarityModel::kExponential;
+  // Exponent base of sim(l1, l2) = base^dist (exponential model).
+  double similarity_base = 0.9;
+  // Zero-similarity cutoff in hops (linear model).
+  uint32_t similarity_cutoff = 2;
+  // Similarity threshold beta used to group nodes under concept labels.
+  // The paper's experiments use beta = 0.8/0.81 (two ontology hops).
+  double beta = 0.81;
+  // N: number of concept graphs in the index (card(I)).
+  size_t num_concept_graphs = 2;
+  // Number of ontology clusters used during concept label selection.
+  size_t num_clusters = 8;
+  // Seed for the randomized concept-label selection.
+  uint64_t seed = 42;
+  // Build edge-label-aware concept graphs (ablation; default is the
+  // paper's label-unaware index).
+  bool edge_label_aware = false;
+};
+
+// Parameters of a single query evaluation.
+struct QueryOptions {
+  // User similarity threshold theta: a data node v may match query node u
+  // only if sim(L(v), L_q(u)) >= theta.  theta = 1 degenerates to
+  // traditional subgraph isomorphism.
+  double theta = 0.9;
+  // Number of best matches to return (top-K problem).  0 means "all".
+  size_t k = 10;
+  MatchSemantics semantics = MatchSemantics::kInduced;
+  // When false, skip the lazy concept-ball candidate initialization and
+  // compute per-node exact candidates directly against the ontology
+  // (ablation knob; the paper's Gview uses the lazy strategy).
+  bool lazy_candidates = true;
+  // Safety valve for adversarial inputs: abort enumeration after this many
+  // backtracking steps (0 = unlimited).  Benches leave it unlimited.
+  size_t max_search_steps = 0;
+};
+
+}  // namespace osq
+
+#endif  // OSQ_CORE_OPTIONS_H_

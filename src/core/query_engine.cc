@@ -1,0 +1,65 @@
+#include "core/query_engine.h"
+
+#include <utility>
+
+#include "common/timer.h"
+#include "graph/query_graph.h"
+#include "query/pattern_parser.h"
+
+namespace osq {
+
+QueryEngine::QueryEngine(Graph g, OntologyGraph o,
+                         const IndexOptions& options)
+    : graph_(std::make_unique<Graph>(std::move(g))),
+      ontology_(std::make_unique<OntologyGraph>(std::move(o))) {
+  WallTimer timer;
+  index_ = std::make_unique<OntologyIndex>(
+      OntologyIndex::Build(*graph_, *ontology_, options, &build_stats_));
+  index_build_ms_ = timer.ElapsedMillis();
+}
+
+QueryResult QueryEngine::Query(const Graph& query,
+                               const QueryOptions& options) const {
+  QueryResult result;
+  result.status = ValidateQuery(query);
+  if (!result.status.ok()) {
+    return result;
+  }
+  WallTimer timer;
+  FilterResult filter = GviewFilter(*index_, query, options);
+  result.filter_ms = timer.ElapsedMillis();
+  result.filter_stats = filter.stats;
+  timer.Restart();
+  result.matches = KMatch(query, filter, options, &result.verify_stats);
+  result.verify_ms = timer.ElapsedMillis();
+  return result;
+}
+
+QueryResult QueryEngine::QueryPattern(std::string_view pattern,
+                                      LabelDictionary* dict,
+                                      const QueryOptions& options) const {
+  ParsedPattern parsed;
+  Status status = ParsePattern(pattern, dict, &parsed);
+  if (!status.ok()) {
+    QueryResult result;
+    result.status = std::move(status);
+    return result;
+  }
+  return Query(parsed.query, options);
+}
+
+bool QueryEngine::ApplyUpdate(const GraphUpdate& update,
+                              MaintenanceStats* stats) {
+  return osq::ApplyUpdate(graph_.get(), index_.get(), update, stats);
+}
+
+MaintenanceStats QueryEngine::ApplyUpdates(
+    const std::vector<GraphUpdate>& updates) {
+  return osq::ApplyUpdates(graph_.get(), index_.get(), updates);
+}
+
+NodeId QueryEngine::AddNode(LabelId label) {
+  return AddNodeWithIndex(graph_.get(), index_.get(), label);
+}
+
+}  // namespace osq

@@ -1,0 +1,92 @@
+// QueryEngine — the library's main entry point.
+//
+// Owns a data graph and its ontology graph, builds the ontology index once
+// (paper Fig. 4, "index construction"), and evaluates ontology-based
+// subgraph queries with the filtering-and-verification pipeline
+// (Gview + KMatch).  Supports dynamic data graphs through the incremental
+// maintenance API (paper §VI).
+//
+// Typical use:
+//   LabelDictionary dict;
+//   ... build Graph g and OntologyGraph o sharing `dict` ...
+//   QueryEngine engine(std::move(g), std::move(o), IndexOptions{});
+//   QueryResult r = engine.Query(query, {.theta = 0.9, .k = 10});
+//   for (const Match& m : r.matches) ...
+
+#ifndef OSQ_CORE_QUERY_ENGINE_H_
+#define OSQ_CORE_QUERY_ENGINE_H_
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "core/filtering.h"
+#include "core/index_maintenance.h"
+#include "core/kmatch.h"
+#include "core/match.h"
+#include "core/ontology_index.h"
+#include "core/options.h"
+#include "graph/graph.h"
+#include "graph/label_dictionary.h"
+#include "ontology/ontology_graph.h"
+
+namespace osq {
+
+struct QueryResult {
+  // Non-OK when the query graph was rejected (empty / disconnected).
+  Status status;
+  // Top-K matches, best first (original data-graph node ids).
+  std::vector<Match> matches;
+  FilterStats filter_stats;
+  KMatchStats verify_stats;
+  // Phase timings, milliseconds.
+  double filter_ms = 0.0;
+  double verify_ms = 0.0;
+};
+
+class QueryEngine {
+ public:
+  // Takes ownership of the graphs; the index is built immediately.
+  QueryEngine(Graph g, OntologyGraph o, const IndexOptions& options);
+
+  QueryEngine(const QueryEngine&) = delete;
+  QueryEngine& operator=(const QueryEngine&) = delete;
+  QueryEngine(QueryEngine&&) = default;
+  QueryEngine& operator=(QueryEngine&&) = default;
+
+  const Graph& graph() const { return *graph_; }
+  const OntologyGraph& ontology() const { return *ontology_; }
+  const OntologyIndex& index() const { return *index_; }
+  const IndexBuildStats& build_stats() const { return build_stats_; }
+  double index_build_ms() const { return index_build_ms_; }
+
+  // Evaluates `query` (paper's KMatch over the Gview-extracted G_v).
+  QueryResult Query(const Graph& query, const QueryOptions& options) const;
+
+  // Convenience: parses `pattern` (see query/pattern_parser.h, e.g.
+  // "(t:tourists)-[guide]->(m:museum)") against `dict` and evaluates it.
+  // Parse failures surface in QueryResult::status.
+  QueryResult QueryPattern(std::string_view pattern, LabelDictionary* dict,
+                           const QueryOptions& options) const;
+
+  // Dynamic updates: mutate the data graph and incrementally repair the
+  // index (never rebuilds from scratch).
+  bool ApplyUpdate(const GraphUpdate& update,
+                   MaintenanceStats* stats = nullptr);
+  MaintenanceStats ApplyUpdates(const std::vector<GraphUpdate>& updates);
+  NodeId AddNode(LabelId label);
+
+ private:
+  // unique_ptr keeps the graphs' addresses stable across engine moves; the
+  // index holds raw pointers into them.
+  std::unique_ptr<Graph> graph_;
+  std::unique_ptr<OntologyGraph> ontology_;
+  std::unique_ptr<OntologyIndex> index_;
+  IndexBuildStats build_stats_;
+  double index_build_ms_ = 0.0;
+};
+
+}  // namespace osq
+
+#endif  // OSQ_CORE_QUERY_ENGINE_H_

@@ -1,0 +1,75 @@
+#include "gen/query_gen.h"
+
+#include <vector>
+
+#include "common/check.h"
+#include "graph/subgraph.h"
+
+namespace osq {
+namespace gen {
+
+namespace {
+
+// Grows a connected node set of the requested size by random expansion
+// (either direction), restarting from fresh seeds on dead ends.
+std::vector<NodeId> GrowConnectedSet(const Graph& g, size_t target,
+                                     Rng* rng) {
+  if (g.num_nodes() < target || target == 0) return {};
+  const size_t kRestarts = 32;
+  for (size_t attempt = 0; attempt < kRestarts; ++attempt) {
+    std::vector<NodeId> set;
+    std::vector<bool> in_set(g.num_nodes(), false);
+    NodeId seed = static_cast<NodeId>(rng->Index(g.num_nodes()));
+    set.push_back(seed);
+    in_set[seed] = true;
+    size_t stuck = 0;
+    while (set.size() < target && stuck < 8 * target + 16) {
+      NodeId from = set[rng->Index(set.size())];
+      const auto& out = g.OutEdges(from);
+      const auto& in = g.InEdges(from);
+      size_t total = out.size() + in.size();
+      if (total == 0) {
+        ++stuck;
+        continue;
+      }
+      size_t pick = rng->Index(total);
+      NodeId next =
+          pick < out.size() ? out[pick].node : in[pick - out.size()].node;
+      if (in_set[next]) {
+        ++stuck;
+        continue;
+      }
+      set.push_back(next);
+      in_set[next] = true;
+      stuck = 0;
+    }
+    if (set.size() == target) return set;
+  }
+  return {};
+}
+
+}  // namespace
+
+Graph ExtractQuery(const Graph& g, const OntologyGraph& o,
+                   const QueryGenParams& params, Rng* rng) {
+  OSQ_CHECK(rng != nullptr);
+  std::vector<NodeId> nodes = GrowConnectedSet(g, params.num_nodes, rng);
+  if (nodes.empty()) return Graph();
+  Graph query = InducedSubgraph(g, nodes).graph;
+  // Generalize labels: random walk of up to generalize_hops steps in the
+  // ontology keeps the new label within base^hops similarity.
+  for (NodeId u = 0; u < query.num_nodes(); ++u) {
+    if (!rng->Bernoulli(params.generalize_prob)) continue;
+    LabelId label = query.NodeLabel(u);
+    for (uint32_t step = 0; step < params.generalize_hops; ++step) {
+      const std::vector<LabelId>& nbrs = o.Neighbors(label);
+      if (nbrs.empty()) break;
+      label = nbrs[rng->Index(nbrs.size())];
+    }
+    query.SetNodeLabel(u, label);
+  }
+  return query;
+}
+
+}  // namespace gen
+}  // namespace osq

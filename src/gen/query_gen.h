@@ -1,0 +1,42 @@
+// Query generation (paper §VII, "query templates"): queries are extracted
+// from the data graph as small connected induced subgraphs — so a match is
+// guaranteed to exist — and then *generalized* by replacing node labels
+// with ontologically close labels (the paper's QT4 is QT3 "obtained by
+// only generalizing the query label").  Generalized queries typically have
+// no identical-label match, which is exactly the effectiveness gap Table I
+// measures.
+
+#ifndef OSQ_GEN_QUERY_GEN_H_
+#define OSQ_GEN_QUERY_GEN_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/rng.h"
+#include "graph/graph.h"
+#include "ontology/ontology_graph.h"
+
+namespace osq {
+namespace gen {
+
+struct QueryGenParams {
+  // Target number of query nodes.
+  size_t num_nodes = 4;
+  // Probability that a node's label is generalized.
+  double generalize_prob = 0.5;
+  // Maximum ontology hops a generalized label moves away from the original
+  // (similarity drops by base^hops).
+  uint32_t generalize_hops = 1;
+};
+
+// Extracts a connected induced subgraph of `g` with params.num_nodes nodes
+// (random-walk growth), then generalizes labels via `o`.  Returns an empty
+// graph when `g` has no connected subgraph of the requested size reachable
+// from the sampled seeds.
+Graph ExtractQuery(const Graph& g, const OntologyGraph& o,
+                   const QueryGenParams& params, Rng* rng);
+
+}  // namespace gen
+}  // namespace osq
+
+#endif  // OSQ_GEN_QUERY_GEN_H_

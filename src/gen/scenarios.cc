@@ -1,0 +1,183 @@
+#include "gen/scenarios.h"
+
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace osq {
+namespace gen {
+
+namespace {
+
+// Builds a 3-level taxonomy "<root>" -> "<root>_c<i>" -> "<root>_c<i>_t<j>"
+// in the ontology and returns the leaf label ids.
+std::vector<LabelId> BuildTaxonomy(const std::string& root, size_t categories,
+                                   size_t leaves_per_category,
+                                   LabelDictionary* dict, OntologyGraph* o) {
+  std::vector<LabelId> leaf_ids;
+  LabelId root_id = dict->Intern(root);
+  o->AddLabel(root_id);
+  for (size_t i = 0; i < categories; ++i) {
+    std::string cat = root + "_c" + std::to_string(i);
+    LabelId cat_id = dict->Intern(cat);
+    o->AddRelation(root_id, cat_id);
+    for (size_t j = 0; j < leaves_per_category; ++j) {
+      LabelId leaf_id = dict->Intern(cat + "_t" + std::to_string(j));
+      o->AddRelation(cat_id, leaf_id);
+      leaf_ids.push_back(leaf_id);
+    }
+  }
+  return leaf_ids;
+}
+
+// Adds `count` random same-level cross links (synonym-style relations)
+// among `labels`.
+void AddCrossLinks(const std::vector<LabelId>& labels, size_t count, Rng* rng,
+                   OntologyGraph* o) {
+  size_t added = 0;
+  size_t attempts = 0;
+  while (added < count && attempts < count * 20 + 50 && labels.size() >= 2) {
+    ++attempts;
+    LabelId a = labels[rng->Index(labels.size())];
+    LabelId b = labels[rng->Index(labels.size())];
+    if (o->AddRelation(a, b)) ++added;
+  }
+}
+
+}  // namespace
+
+Dataset MakeCrossDomainLike(const ScenarioParams& params) {
+  Dataset ds;
+  Rng rng(params.seed);
+  const std::vector<std::string> domains = {"person", "place",   "org",
+                                            "work",   "species", "music"};
+  // Per-domain taxonomies.
+  std::vector<std::vector<LabelId>> domain_leaves;
+  for (const std::string& d : domains) {
+    std::vector<LabelId> leaves =
+        BuildTaxonomy(d, /*categories=*/5, /*leaves_per_category=*/6,
+                      &ds.dict, &ds.ontology);
+    AddCrossLinks(leaves, leaves.size() / 5, &rng, &ds.ontology);
+    domain_leaves.push_back(std::move(leaves));
+  }
+  // Weakly connect the domain roots so the ontology forms one space
+  // (cross-domain datasets share upper-level concepts).
+  LabelId thing = ds.dict.Intern("entity");
+  ds.ontology.AddLabel(thing);
+  for (const std::string& d : domains) {
+    ds.ontology.AddRelation(thing, ds.dict.Lookup(d));
+  }
+
+  // Relation labels by domain pair.
+  const std::vector<std::string> relations = {
+      "related_to", "born_in", "located_in", "member_of", "created", "cites"};
+  std::vector<LabelId> relation_ids;
+  for (const std::string& r : relations) {
+    relation_ids.push_back(ds.dict.Intern(r));
+  }
+
+  // Entities: domain chosen with skew, label a Zipf leaf of the domain.
+  std::vector<size_t> node_domain(params.scale);
+  for (size_t i = 0; i < params.scale; ++i) {
+    size_t d = rng.Zipf(domains.size(), 0.7);
+    node_domain[i] = d;
+    const std::vector<LabelId>& leaves = domain_leaves[d];
+    ds.graph.AddNode(leaves[rng.Zipf(leaves.size(), 0.8)]);
+  }
+  // Relations: edge label keyed by the (source, target) domain pair so
+  // label distributions mirror RDF predicate locality.
+  size_t target_edges = params.scale * 4;
+  size_t attempts = 0;
+  while (ds.graph.num_edges() < target_edges &&
+         attempts < target_edges * 20 + 100) {
+    ++attempts;
+    NodeId u = static_cast<NodeId>(rng.Index(params.scale));
+    NodeId v = static_cast<NodeId>(rng.Index(params.scale));
+    if (u == v) continue;
+    size_t rel = (node_domain[u] * 31 + node_domain[v] * 7) % relations.size();
+    ds.graph.AddEdge(u, v, relation_ids[rel]);
+  }
+  return ds;
+}
+
+Dataset MakeFlickrLike(const ScenarioParams& params) {
+  Dataset ds;
+  Rng rng(params.seed);
+
+  // Tag taxonomy (DBpedia-style concepts) and location taxonomy.
+  std::vector<LabelId> tag_leaves;
+  for (const std::string& cat :
+       {std::string("animal"), std::string("plant"), std::string("vehicle"),
+        std::string("scene"), std::string("food")}) {
+    std::vector<LabelId> leaves = BuildTaxonomy(
+        cat, /*categories=*/3, /*leaves_per_category=*/8, &ds.dict,
+        &ds.ontology);
+    AddCrossLinks(leaves, leaves.size() / 5, &rng, &ds.ontology);
+    tag_leaves.insert(tag_leaves.end(), leaves.begin(), leaves.end());
+  }
+  LabelId concept_root = ds.dict.Intern("concept");
+  ds.ontology.AddLabel(concept_root);
+  for (const char* cat : {"animal", "plant", "vehicle", "scene", "food"}) {
+    ds.ontology.AddRelation(concept_root, ds.dict.Lookup(cat));
+  }
+  std::vector<LabelId> location_leaves = BuildTaxonomy(
+      "location", /*categories=*/4, /*leaves_per_category=*/6, &ds.dict,
+      &ds.ontology);
+
+  LabelId photo_label = ds.dict.Intern("photo");
+  LabelId user_label = ds.dict.Intern("user");
+  ds.ontology.AddLabel(photo_label);
+  ds.ontology.AddLabel(user_label);
+
+  LabelId tagged = ds.dict.Intern("tagged");
+  LabelId taken_at = ds.dict.Intern("taken_at");
+  LabelId posted = ds.dict.Intern("posted");
+  LabelId follows = ds.dict.Intern("follows");
+
+  // Entity nodes: one node per tag leaf and per location city, then users
+  // and photos filling the requested scale.
+  std::vector<NodeId> tag_nodes;
+  for (LabelId t : tag_leaves) tag_nodes.push_back(ds.graph.AddNode(t));
+  std::vector<NodeId> location_nodes;
+  for (LabelId l : location_leaves) {
+    location_nodes.push_back(ds.graph.AddNode(l));
+  }
+  size_t remaining =
+      params.scale > ds.graph.num_nodes() ? params.scale - ds.graph.num_nodes()
+                                          : 2;
+  size_t num_users = remaining / 4 + 1;
+  size_t num_photos = remaining - num_users + 1;
+  std::vector<NodeId> user_nodes;
+  for (size_t i = 0; i < num_users; ++i) {
+    user_nodes.push_back(ds.graph.AddNode(user_label));
+  }
+  std::vector<NodeId> photo_nodes;
+  for (size_t i = 0; i < num_photos; ++i) {
+    photo_nodes.push_back(ds.graph.AddNode(photo_label));
+  }
+
+  // Wiring: photos -> tags (1-3, Zipf), photo -> location, user -> photo,
+  // user -> user follow edges.
+  for (NodeId p : photo_nodes) {
+    size_t num_tags = 1 + rng.Index(3);
+    for (size_t i = 0; i < num_tags; ++i) {
+      ds.graph.AddEdge(p, tag_nodes[rng.Zipf(tag_nodes.size(), 0.9)], tagged);
+    }
+    ds.graph.AddEdge(p, location_nodes[rng.Zipf(location_nodes.size(), 0.7)],
+                     taken_at);
+    ds.graph.AddEdge(user_nodes[rng.Index(user_nodes.size())], p, posted);
+  }
+  for (NodeId u : user_nodes) {
+    size_t num_follows = rng.Index(4);
+    for (size_t i = 0; i < num_follows; ++i) {
+      NodeId v = user_nodes[rng.Index(user_nodes.size())];
+      if (v != u) ds.graph.AddEdge(u, v, follows);
+    }
+  }
+  return ds;
+}
+
+}  // namespace gen
+}  // namespace osq

@@ -1,0 +1,51 @@
+// Scenario generators standing in for the paper's real-life datasets.
+//
+// The paper evaluates on (a) CrossDomain — a FedBench RDF graph of 1.7M
+// nodes / 3.86M edges with a 1.44M-concept ontology — and (b) Flickr — a
+// 1.3M-node photo/tag/user/location graph described by a DBpedia-derived
+// tag ontology.  Neither download is available offline, so these
+// generators synthesize graphs with the same *structural signature*:
+// heterogeneous node domains, taxonomy-shaped ontologies with cross
+// links, skewed label frequencies, and relation labels correlated with
+// domain pairs.  DESIGN.md documents the substitution rationale.
+
+#ifndef OSQ_GEN_SCENARIOS_H_
+#define OSQ_GEN_SCENARIOS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "graph/label_dictionary.h"
+#include "ontology/ontology_graph.h"
+
+namespace osq {
+namespace gen {
+
+// A self-contained dataset: the data graph and its ontology share `dict`.
+struct Dataset {
+  LabelDictionary dict;
+  Graph graph;
+  OntologyGraph ontology;
+};
+
+struct ScenarioParams {
+  // Approximate node count of the data graph; edges scale ~4x.
+  size_t scale = 2000;
+  uint64_t seed = 7;
+};
+
+// CrossDomain-like: entities from six domains (person, place, org, work,
+// species, music), each domain with a 3-level label taxonomy; relation
+// labels determined by the (source domain, target domain) pair.
+Dataset MakeCrossDomainLike(const ScenarioParams& params);
+
+// Flickr-like: photo / tag / user / location nodes; photos point at tag
+// entities ("tagged"), locations ("taken_at") and are posted by users;
+// the ontology covers the tag and location taxonomies.
+Dataset MakeFlickrLike(const ScenarioParams& params);
+
+}  // namespace gen
+}  // namespace osq
+
+#endif  // OSQ_GEN_SCENARIOS_H_

@@ -1,0 +1,85 @@
+#include "gen/synthetic.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace osq {
+namespace gen {
+
+namespace {
+
+std::vector<LabelId> InternNumbered(LabelDictionary* dict,
+                                    const std::string& prefix, size_t count) {
+  std::vector<LabelId> ids;
+  ids.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    ids.push_back(dict->Intern(prefix + std::to_string(i)));
+  }
+  return ids;
+}
+
+}  // namespace
+
+Graph MakeRandomGraph(const SyntheticGraphParams& params,
+                      LabelDictionary* dict) {
+  OSQ_CHECK(dict != nullptr);
+  OSQ_CHECK(params.num_labels > 0);
+  Rng rng(params.seed);
+  std::vector<LabelId> labels = InternNumbered(dict, "L", params.num_labels);
+  std::vector<LabelId> edge_labels =
+      InternNumbered(dict, "r", std::max<size_t>(params.num_edge_labels, 1));
+
+  Graph g;
+  for (size_t i = 0; i < params.num_nodes; ++i) {
+    g.AddNode(labels[rng.Zipf(params.num_labels, params.label_skew)]);
+  }
+  if (params.num_nodes < 2) return g;
+  size_t attempts = 0;
+  size_t max_attempts = params.num_edges * 20 + 100;
+  while (g.num_edges() < params.num_edges && attempts < max_attempts) {
+    ++attempts;
+    NodeId u = static_cast<NodeId>(rng.Index(params.num_nodes));
+    NodeId v = static_cast<NodeId>(rng.Index(params.num_nodes));
+    if (u == v) continue;
+    LabelId el = edge_labels[rng.Index(edge_labels.size())];
+    g.AddEdge(u, v, el);
+  }
+  return g;
+}
+
+OntologyGraph MakeTaxonomyOntology(const SyntheticOntologyParams& params,
+                                   LabelDictionary* dict) {
+  OSQ_CHECK(dict != nullptr);
+  OSQ_CHECK(params.num_labels > 0);
+  Rng rng(params.seed);
+  std::vector<LabelId> labels = InternNumbered(dict, "L", params.num_labels);
+
+  OntologyGraph o;
+  o.AddLabel(labels[0]);
+  // Random branching tree: node i attaches to a uniformly random earlier
+  // node among the last `branching` candidates, giving taxonomy-like depth.
+  for (size_t i = 1; i < params.num_labels; ++i) {
+    size_t window = std::min(i, params.branching * 2);
+    size_t parent = i - 1 - rng.Index(window);
+    o.AddRelation(labels[i], labels[parent]);
+  }
+  // Cross links (synonyms / refers-to).
+  size_t extra =
+      static_cast<size_t>(params.cross_link_fraction * params.num_labels);
+  size_t added = 0;
+  size_t attempts = 0;
+  while (added < extra && attempts < extra * 20 + 100) {
+    ++attempts;
+    LabelId a = labels[rng.Index(params.num_labels)];
+    LabelId b = labels[rng.Index(params.num_labels)];
+    if (o.AddRelation(a, b)) ++added;
+  }
+  return o;
+}
+
+}  // namespace gen
+}  // namespace osq

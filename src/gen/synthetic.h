@@ -1,0 +1,54 @@
+// Synthetic data-graph and ontology-graph generators (paper §VII,
+// "Synthetic data": graphs controlled by |V|, |E| and a label set size
+// |L|, plus ontology graphs generated over the same label set).
+
+#ifndef OSQ_GEN_SYNTHETIC_H_
+#define OSQ_GEN_SYNTHETIC_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "graph/label_dictionary.h"
+#include "ontology/ontology_graph.h"
+
+namespace osq {
+namespace gen {
+
+struct SyntheticGraphParams {
+  size_t num_nodes = 1000;
+  size_t num_edges = 4000;
+  // Node labels are "L0" .. "L<num_labels-1>"; edge labels "r0" .. .
+  size_t num_labels = 100;
+  size_t num_edge_labels = 3;
+  // Zipf exponent for node-label frequencies (0 = uniform).
+  double label_skew = 0.8;
+  uint64_t seed = 1;
+};
+
+// Uniform random directed multigraph with labeled nodes/edges.  Label
+// strings are interned into `dict`, so a matching ontology built over the
+// same dict shares ids.
+Graph MakeRandomGraph(const SyntheticGraphParams& params,
+                      LabelDictionary* dict);
+
+struct SyntheticOntologyParams {
+  // Must cover the data graph's label universe ("L0" .. "L<n-1>").
+  size_t num_labels = 100;
+  // Children per internal node of the taxonomy backbone.
+  size_t branching = 4;
+  // Extra non-tree "refers to"-style relations, as a fraction of labels.
+  double cross_link_fraction = 0.15;
+  uint64_t seed = 2;
+};
+
+// Taxonomy-shaped ontology over "L0" .. "L<n-1>": a random branching tree
+// (is-a backbone) plus random cross links (synonym/refers-to relations).
+// Connected by construction.
+OntologyGraph MakeTaxonomyOntology(const SyntheticOntologyParams& params,
+                                   LabelDictionary* dict);
+
+}  // namespace gen
+}  // namespace osq
+
+#endif  // OSQ_GEN_SYNTHETIC_H_

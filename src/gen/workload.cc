@@ -1,0 +1,64 @@
+#include "gen/workload.h"
+
+#include <utility>
+
+#include "common/rng.h"
+
+namespace osq {
+namespace gen {
+
+namespace {
+
+void PopulateTemplates(Workload* w, size_t queries_per_template,
+                       uint64_t seed) {
+  Rng rng(seed);
+  for (QueryTemplate& t : w->templates) {
+    size_t attempts = 0;
+    while (t.queries.size() < queries_per_template &&
+           attempts < queries_per_template * 10 + 20) {
+      ++attempts;
+      Graph q = ExtractQuery(w->data.graph, w->data.ontology, t.params, &rng);
+      if (!q.empty()) {
+        t.queries.push_back(std::move(q));
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Workload MakeCrossDomainWorkload(const ScenarioParams& params,
+                                 size_t queries_per_template) {
+  Workload w;
+  w.name = "CrossDomain";
+  w.data = MakeCrossDomainLike(params);
+  w.templates = {
+      {"QT1", {.num_nodes = 4, .generalize_prob = 0.5, .generalize_hops = 1}, {}},
+      {"QT2", {.num_nodes = 4, .generalize_prob = 0.5, .generalize_hops = 1}, {}},
+      {"QT3", {.num_nodes = 4, .generalize_prob = 0.7, .generalize_hops = 1}, {}},
+      // QT4: QT3's shape with every label generalized (paper: "obtained by
+      // only generalizing the query label of QT3").
+      {"QT4", {.num_nodes = 4, .generalize_prob = 1.0, .generalize_hops = 2}, {}},
+      {"QT5", {.num_nodes = 5, .generalize_prob = 0.5, .generalize_hops = 1}, {}},
+  };
+  PopulateTemplates(&w, queries_per_template, params.seed + 1000);
+  return w;
+}
+
+Workload MakeFlickrWorkload(const ScenarioParams& params,
+                            size_t queries_per_template) {
+  Workload w;
+  w.name = "Flickr";
+  w.data = MakeFlickrLike(params);
+  w.templates = {
+      {"QT6", {.num_nodes = 3, .generalize_prob = 0.5, .generalize_hops = 1}, {}},
+      {"QT7", {.num_nodes = 4, .generalize_prob = 0.5, .generalize_hops = 1}, {}},
+      {"QT8", {.num_nodes = 4, .generalize_prob = 0.8, .generalize_hops = 2}, {}},
+      {"QT9", {.num_nodes = 5, .generalize_prob = 0.5, .generalize_hops = 1}, {}},
+  };
+  PopulateTemplates(&w, queries_per_template, params.seed + 2000);
+  return w;
+}
+
+}  // namespace gen
+}  // namespace osq

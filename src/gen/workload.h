@@ -1,0 +1,46 @@
+// Benchmark workloads: a scenario dataset bundled with populated query
+// templates, mirroring the paper's setup (§VII: five templates QT1-QT5 on
+// CrossDomain, four templates QT6-QT9 on Flickr, each populated into a set
+// of 10 queries by varying node labels).
+
+#ifndef OSQ_GEN_WORKLOAD_H_
+#define OSQ_GEN_WORKLOAD_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "gen/query_gen.h"
+#include "gen/scenarios.h"
+#include "graph/graph.h"
+
+namespace osq {
+namespace gen {
+
+struct QueryTemplate {
+  std::string name;      // e.g. "QT1"
+  QueryGenParams params; // size and generalization profile
+  std::vector<Graph> queries;
+};
+
+struct Workload {
+  std::string name;
+  Dataset data;
+  std::vector<QueryTemplate> templates;
+};
+
+// CrossDomain-like workload with templates QT1-QT5: 4-5 node patterns, one
+// of them (QT4) aggressively generalized, following the paper's template
+// descriptions.
+Workload MakeCrossDomainWorkload(const ScenarioParams& params,
+                                 size_t queries_per_template = 10);
+
+// Flickr-like workload with templates QT6-QT9 ("photos of animals taken at
+// specified locations"-style patterns of 3-5 nodes).
+Workload MakeFlickrWorkload(const ScenarioParams& params,
+                            size_t queries_per_template = 10);
+
+}  // namespace gen
+}  // namespace osq
+
+#endif  // OSQ_GEN_WORKLOAD_H_

@@ -1,0 +1,156 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace osq {
+
+namespace {
+
+// Inserts `entry` into the sorted vector `adj`; returns false if present.
+bool SortedInsert(std::vector<AdjEntry>* adj, AdjEntry entry) {
+  auto it = std::lower_bound(adj->begin(), adj->end(), entry);
+  if (it != adj->end() && *it == entry) {
+    return false;
+  }
+  adj->insert(it, entry);
+  return true;
+}
+
+// Removes `entry` from the sorted vector `adj`; returns false if absent.
+bool SortedErase(std::vector<AdjEntry>* adj, AdjEntry entry) {
+  auto it = std::lower_bound(adj->begin(), adj->end(), entry);
+  if (it == adj->end() || *it != entry) {
+    return false;
+  }
+  adj->erase(it);
+  return true;
+}
+
+bool SortedContains(const std::vector<AdjEntry>& adj, AdjEntry entry) {
+  return std::binary_search(adj.begin(), adj.end(), entry);
+}
+
+}  // namespace
+
+NodeId Graph::AddNode(LabelId label) {
+  NodeId id = static_cast<NodeId>(labels_.size());
+  labels_.push_back(label);
+  out_.emplace_back();
+  in_.emplace_back();
+  return id;
+}
+
+NodeId Graph::AddNodes(size_t count, LabelId label) {
+  NodeId first = static_cast<NodeId>(labels_.size());
+  labels_.resize(labels_.size() + count, label);
+  out_.resize(labels_.size());
+  in_.resize(labels_.size());
+  return first;
+}
+
+LabelId Graph::NodeLabel(NodeId v) const {
+  OSQ_DCHECK(IsValidNode(v));
+  return labels_[v];
+}
+
+void Graph::SetNodeLabel(NodeId v, LabelId label) {
+  OSQ_DCHECK(IsValidNode(v));
+  labels_[v] = label;
+}
+
+bool Graph::AddEdge(NodeId from, NodeId to, LabelId label) {
+  OSQ_DCHECK(IsValidNode(from));
+  OSQ_DCHECK(IsValidNode(to));
+  if (!SortedInsert(&out_[from], {to, label})) {
+    return false;
+  }
+  bool inserted = SortedInsert(&in_[to], {from, label});
+  OSQ_DCHECK(inserted);
+  (void)inserted;
+  ++num_edges_;
+  return true;
+}
+
+bool Graph::RemoveEdge(NodeId from, NodeId to, LabelId label) {
+  OSQ_DCHECK(IsValidNode(from));
+  OSQ_DCHECK(IsValidNode(to));
+  if (!SortedErase(&out_[from], {to, label})) {
+    return false;
+  }
+  bool erased = SortedErase(&in_[to], {from, label});
+  OSQ_DCHECK(erased);
+  (void)erased;
+  --num_edges_;
+  return true;
+}
+
+bool Graph::HasEdge(NodeId from, NodeId to, LabelId label) const {
+  OSQ_DCHECK(IsValidNode(from));
+  OSQ_DCHECK(IsValidNode(to));
+  return SortedContains(out_[from], {to, label});
+}
+
+bool Graph::HasEdgeAnyLabel(NodeId from, NodeId to) const {
+  OSQ_DCHECK(IsValidNode(from));
+  OSQ_DCHECK(IsValidNode(to));
+  const auto& adj = out_[from];
+  auto it = std::lower_bound(adj.begin(), adj.end(), AdjEntry{to, 0});
+  return it != adj.end() && it->node == to;
+}
+
+const std::vector<AdjEntry>& Graph::OutEdges(NodeId v) const {
+  OSQ_DCHECK(IsValidNode(v));
+  return out_[v];
+}
+
+const std::vector<AdjEntry>& Graph::InEdges(NodeId v) const {
+  OSQ_DCHECK(IsValidNode(v));
+  return in_[v];
+}
+
+std::vector<EdgeTriple> Graph::EdgeList() const {
+  std::vector<EdgeTriple> edges;
+  edges.reserve(num_edges_);
+  for (NodeId v = 0; v < labels_.size(); ++v) {
+    for (const AdjEntry& e : out_[v]) {
+      edges.push_back({v, e.node, e.label});
+    }
+  }
+  return edges;
+}
+
+std::vector<LabelId> Graph::EdgeLabelsBetween(NodeId from, NodeId to) const {
+  OSQ_DCHECK(IsValidNode(from));
+  OSQ_DCHECK(IsValidNode(to));
+  std::vector<LabelId> labels;
+  const auto& adj = out_[from];
+  auto it = std::lower_bound(adj.begin(), adj.end(), AdjEntry{to, 0});
+  for (; it != adj.end() && it->node == to; ++it) {
+    labels.push_back(it->label);
+  }
+  return labels;
+}
+
+bool Graph::CheckConsistency() const {
+  size_t out_count = 0;
+  size_t in_count = 0;
+  for (NodeId v = 0; v < labels_.size(); ++v) {
+    if (!std::is_sorted(out_[v].begin(), out_[v].end())) return false;
+    if (!std::is_sorted(in_[v].begin(), in_[v].end())) return false;
+    out_count += out_[v].size();
+    in_count += in_[v].size();
+    for (const AdjEntry& e : out_[v]) {
+      if (!IsValidNode(e.node)) return false;
+      if (!SortedContains(in_[e.node], {v, e.label})) return false;
+    }
+    for (const AdjEntry& e : in_[v]) {
+      if (!IsValidNode(e.node)) return false;
+      if (!SortedContains(out_[e.node], {v, e.label})) return false;
+    }
+  }
+  return out_count == num_edges_ && in_count == num_edges_;
+}
+
+}  // namespace osq

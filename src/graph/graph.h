@@ -1,0 +1,114 @@
+// Directed, node- and edge-labeled graph.
+//
+// This is the shared substrate for data graphs and query graphs (the paper's
+// G = (V, E, L) and Q = (V_q, E_q, L_q)).  Nodes are dense ids assigned by
+// AddNode; labels are LabelIds from an external LabelDictionary.  Parallel
+// edges with distinct edge labels are allowed (a pair of entities may be
+// related in more than one way); an exact duplicate (same endpoints, same
+// label) is rejected.
+//
+// The graph is mutable — edge insertions and deletions drive the
+// incremental index maintenance of paper §VI — and keeps both out- and
+// in-adjacency sorted so membership tests are logarithmic.
+
+#ifndef OSQ_GRAPH_GRAPH_H_
+#define OSQ_GRAPH_GRAPH_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace osq {
+
+// One directed adjacency entry: an edge to (or from) `node` with `label`.
+struct AdjEntry {
+  NodeId node;
+  LabelId label;
+
+  friend bool operator==(const AdjEntry&, const AdjEntry&) = default;
+  friend auto operator<=>(const AdjEntry& a, const AdjEntry& b) {
+    if (auto c = a.node <=> b.node; c != 0) return c;
+    return a.label <=> b.label;
+  }
+};
+
+// A fully-specified directed edge, used for update streams and edge lists.
+struct EdgeTriple {
+  NodeId from;
+  NodeId to;
+  LabelId label;
+
+  friend bool operator==(const EdgeTriple&, const EdgeTriple&) = default;
+  friend auto operator<=>(const EdgeTriple& a, const EdgeTriple& b) {
+    if (auto c = a.from <=> b.from; c != 0) return c;
+    if (auto c = a.to <=> b.to; c != 0) return c;
+    return a.label <=> b.label;
+  }
+};
+
+class Graph {
+ public:
+  Graph() = default;
+
+  Graph(const Graph&) = default;
+  Graph& operator=(const Graph&) = default;
+  Graph(Graph&&) = default;
+  Graph& operator=(Graph&&) = default;
+
+  // Adds a node with the given label; returns its id (dense, increasing).
+  NodeId AddNode(LabelId label);
+
+  // Adds `count` nodes all labeled `label`; returns the first new id.
+  NodeId AddNodes(size_t count, LabelId label);
+
+  size_t num_nodes() const { return labels_.size(); }
+  size_t num_edges() const { return num_edges_; }
+  bool empty() const { return labels_.empty(); }
+
+  bool IsValidNode(NodeId v) const { return v < labels_.size(); }
+
+  LabelId NodeLabel(NodeId v) const;
+  void SetNodeLabel(NodeId v, LabelId label);
+
+  // Inserts edge (from, to, label).  Returns false (and leaves the graph
+  // unchanged) if the identical edge already exists.
+  bool AddEdge(NodeId from, NodeId to, LabelId label = kDefaultEdgeLabel);
+
+  // Removes edge (from, to, label).  Returns false if it does not exist.
+  bool RemoveEdge(NodeId from, NodeId to, LabelId label = kDefaultEdgeLabel);
+
+  bool HasEdge(NodeId from, NodeId to, LabelId label) const;
+
+  // True if any edge from `from` to `to` exists, regardless of label.
+  bool HasEdgeAnyLabel(NodeId from, NodeId to) const;
+
+  // Out-neighbors of v as (node, edge label) pairs sorted by (node, label).
+  const std::vector<AdjEntry>& OutEdges(NodeId v) const;
+  // In-neighbors of v: entry.node is the source of an edge into v.
+  const std::vector<AdjEntry>& InEdges(NodeId v) const;
+
+  size_t OutDegree(NodeId v) const { return OutEdges(v).size(); }
+  size_t InDegree(NodeId v) const { return InEdges(v).size(); }
+  size_t Degree(NodeId v) const { return OutDegree(v) + InDegree(v); }
+
+  // All edges in (from, to, label) order.  O(|E|).
+  std::vector<EdgeTriple> EdgeList() const;
+
+  // Labels of all edges from `from` to `to`, ascending.  O(log + #labels).
+  std::vector<LabelId> EdgeLabelsBetween(NodeId from, NodeId to) const;
+
+  // Internal consistency check (out/in mirrors agree, sorted, counts
+  // match).  Used by tests; O(|V| + |E| log |E|).
+  bool CheckConsistency() const;
+
+ private:
+  std::vector<LabelId> labels_;            // node id -> node label
+  std::vector<std::vector<AdjEntry>> out_;  // sorted adjacency
+  std::vector<std::vector<AdjEntry>> in_;   // sorted reverse adjacency
+  size_t num_edges_ = 0;
+};
+
+}  // namespace osq
+
+#endif  // OSQ_GRAPH_GRAPH_H_

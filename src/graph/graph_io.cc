@@ -1,0 +1,117 @@
+#include "graph/graph_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace osq {
+
+namespace {
+
+bool HasWhitespace(const std::string& s) {
+  for (char c : s) {
+    if (c == ' ' || c == '\t' || c == '\n' || c == '\r') return true;
+  }
+  return s.empty();
+}
+
+}  // namespace
+
+Status SaveGraph(const Graph& g, const LabelDictionary& dict,
+                 std::ostream* out) {
+  if (out == nullptr) {
+    return Status::InvalidArgument("null output stream");
+  }
+  *out << "# osq graph: " << g.num_nodes() << " nodes, " << g.num_edges()
+       << " edges\n";
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const std::string& label = dict.Name(g.NodeLabel(v));
+    if (HasWhitespace(label)) {
+      return Status::InvalidArgument("node label unserializable: '" + label +
+                                     "'");
+    }
+    *out << "v " << v << ' ' << label << '\n';
+  }
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (const AdjEntry& e : g.OutEdges(v)) {
+      const std::string& label = dict.Name(e.label);
+      if (HasWhitespace(label)) {
+        return Status::InvalidArgument("edge label unserializable: '" + label +
+                                       "'");
+      }
+      *out << "e " << v << ' ' << e.node << ' ' << label << '\n';
+    }
+  }
+  if (!out->good()) {
+    return Status::IoError("write failed");
+  }
+  return Status::Ok();
+}
+
+Status SaveGraphToFile(const Graph& g, const LabelDictionary& dict,
+                       const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  return SaveGraph(g, dict, &out);
+}
+
+Status LoadGraph(std::istream* in, LabelDictionary* dict, Graph* g) {
+  if (in == nullptr || dict == nullptr || g == nullptr) {
+    return Status::InvalidArgument("null argument to LoadGraph");
+  }
+  Graph result;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(*in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string tag;
+    ls >> tag;
+    if (tag == "v") {
+      uint64_t id = 0;
+      std::string label;
+      if (!(ls >> id >> label)) {
+        return Status::Corruption("bad node record at line " +
+                                  std::to_string(line_no));
+      }
+      if (id != result.num_nodes()) {
+        return Status::Corruption("non-dense node id at line " +
+                                  std::to_string(line_no));
+      }
+      result.AddNode(dict->Intern(label));
+    } else if (tag == "e") {
+      uint64_t src = 0;
+      uint64_t dst = 0;
+      std::string label;
+      if (!(ls >> src >> dst >> label)) {
+        return Status::Corruption("bad edge record at line " +
+                                  std::to_string(line_no));
+      }
+      if (src >= result.num_nodes() || dst >= result.num_nodes()) {
+        return Status::Corruption("edge references unknown node at line " +
+                                  std::to_string(line_no));
+      }
+      result.AddEdge(static_cast<NodeId>(src), static_cast<NodeId>(dst),
+                     dict->Intern(label));
+    } else {
+      return Status::Corruption("unknown record '" + tag + "' at line " +
+                                std::to_string(line_no));
+    }
+  }
+  *g = std::move(result);
+  return Status::Ok();
+}
+
+Status LoadGraphFromFile(const std::string& path, LabelDictionary* dict,
+                         Graph* g) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::IoError("cannot open for reading: " + path);
+  }
+  return LoadGraph(&in, dict, g);
+}
+
+}  // namespace osq

@@ -1,0 +1,37 @@
+// Plain-text persistence for graphs and ontology graphs.
+//
+// Format (one record per line, '#' starts a comment):
+//   v <id> <node-label>
+//   e <src-id> <dst-id> <edge-label>
+// Node ids must be dense and appear in increasing order.  Labels are
+// whitespace-free tokens interned into the caller's LabelDictionary, so a
+// data graph and its ontology graph loaded with the same dictionary share
+// label ids (as the engine requires).
+
+#ifndef OSQ_GRAPH_GRAPH_IO_H_
+#define OSQ_GRAPH_GRAPH_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/status.h"
+#include "graph/graph.h"
+#include "graph/label_dictionary.h"
+
+namespace osq {
+
+// Writes `g` in the text format.  Fails if any label contains whitespace.
+Status SaveGraph(const Graph& g, const LabelDictionary& dict,
+                 std::ostream* out);
+Status SaveGraphToFile(const Graph& g, const LabelDictionary& dict,
+                       const std::string& path);
+
+// Parses a graph in the text format, interning labels into `dict` and
+// appending nothing on failure (`g` is only assigned on success).
+Status LoadGraph(std::istream* in, LabelDictionary* dict, Graph* g);
+Status LoadGraphFromFile(const std::string& path, LabelDictionary* dict,
+                         Graph* g);
+
+}  // namespace osq
+
+#endif  // OSQ_GRAPH_GRAPH_IO_H_

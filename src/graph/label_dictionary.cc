@@ -1,0 +1,31 @@
+#include "graph/label_dictionary.h"
+
+#include "common/check.h"
+
+namespace osq {
+
+LabelId LabelDictionary::Intern(std::string_view name) {
+  auto it = ids_.find(std::string(name));
+  if (it != ids_.end()) {
+    return it->second;
+  }
+  LabelId id = static_cast<LabelId>(names_.size());
+  names_.emplace_back(name);
+  ids_.emplace(names_.back(), id);
+  return id;
+}
+
+LabelId LabelDictionary::Lookup(std::string_view name) const {
+  auto it = ids_.find(std::string(name));
+  if (it == ids_.end()) {
+    return kInvalidLabel;
+  }
+  return it->second;
+}
+
+const std::string& LabelDictionary::Name(LabelId id) const {
+  OSQ_CHECK(id < names_.size());
+  return names_[id];
+}
+
+}  // namespace osq

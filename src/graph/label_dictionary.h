@@ -1,0 +1,52 @@
+// Bidirectional mapping between label strings and dense LabelIds.
+//
+// A single dictionary instance is shared by a data graph, the ontology
+// graph that describes its label universe, and the queries posed against
+// it, so that the same string always maps to the same id across all three.
+
+#ifndef OSQ_GRAPH_LABEL_DICTIONARY_H_
+#define OSQ_GRAPH_LABEL_DICTIONARY_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace osq {
+
+class LabelDictionary {
+ public:
+  LabelDictionary() = default;
+
+  LabelDictionary(const LabelDictionary&) = default;
+  LabelDictionary& operator=(const LabelDictionary&) = default;
+  LabelDictionary(LabelDictionary&&) = default;
+  LabelDictionary& operator=(LabelDictionary&&) = default;
+
+  // Returns the id of `name`, interning it if it is new.
+  LabelId Intern(std::string_view name);
+
+  // Returns the id of `name`, or kInvalidLabel if it was never interned.
+  LabelId Lookup(std::string_view name) const;
+
+  // True if `name` has been interned.
+  bool Contains(std::string_view name) const {
+    return Lookup(name) != kInvalidLabel;
+  }
+
+  // Returns the string for `id`.  `id` must be a valid interned id.
+  const std::string& Name(LabelId id) const;
+
+  size_t size() const { return names_.size(); }
+  bool empty() const { return names_.empty(); }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, LabelId> ids_;
+};
+
+}  // namespace osq
+
+#endif  // OSQ_GRAPH_LABEL_DICTIONARY_H_

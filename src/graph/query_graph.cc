@@ -1,0 +1,48 @@
+#include "graph/query_graph.h"
+
+#include "common/check.h"
+#include "graph/graph_algorithms.h"
+
+namespace osq {
+
+StringGraphBuilder::StringGraphBuilder(LabelDictionary* dict) : dict_(dict) {
+  OSQ_CHECK(dict != nullptr);
+}
+
+NodeId StringGraphBuilder::AddNode(std::string_view name,
+                                   std::string_view label) {
+  auto it = node_ids_.find(std::string(name));
+  if (it != node_ids_.end()) {
+    return it->second;
+  }
+  NodeId id = graph_.AddNode(dict_->Intern(label));
+  node_ids_.emplace(std::string(name), id);
+  return id;
+}
+
+bool StringGraphBuilder::AddEdge(std::string_view from, std::string_view to,
+                                 std::string_view edge_label) {
+  NodeId u = AddNode(from);
+  NodeId v = AddNode(to);
+  return graph_.AddEdge(u, v, dict_->Intern(edge_label));
+}
+
+NodeId StringGraphBuilder::NodeIdOf(std::string_view name) const {
+  auto it = node_ids_.find(std::string(name));
+  if (it == node_ids_.end()) {
+    return kInvalidNode;
+  }
+  return it->second;
+}
+
+Status ValidateQuery(const Graph& query) {
+  if (query.empty()) {
+    return Status::InvalidArgument("query graph has no nodes");
+  }
+  if (!IsWeaklyConnected(query)) {
+    return Status::InvalidArgument("query graph must be weakly connected");
+  }
+  return Status::Ok();
+}
+
+}  // namespace osq

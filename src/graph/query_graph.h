@@ -1,0 +1,66 @@
+// Query-graph conveniences.
+//
+// A query graph is structurally the same as a data graph (see graph.h), so
+// queries reuse the Graph class.  This header adds:
+//   * StringGraphBuilder — builds graphs from human-readable node names and
+//     label strings, interning labels into a shared LabelDictionary.  Used
+//     by examples, tests and the paper's running example.
+//   * ValidateQuery — sanity checks a graph before it is used as a query.
+
+#ifndef OSQ_GRAPH_QUERY_GRAPH_H_
+#define OSQ_GRAPH_QUERY_GRAPH_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "graph/graph.h"
+#include "graph/label_dictionary.h"
+
+namespace osq {
+
+// Builds a Graph incrementally from string node names and string labels.
+// Node names are unique within a builder; labels are interned in the
+// dictionary passed at construction (not owned).
+class StringGraphBuilder {
+ public:
+  explicit StringGraphBuilder(LabelDictionary* dict);
+
+  StringGraphBuilder(const StringGraphBuilder&) = delete;
+  StringGraphBuilder& operator=(const StringGraphBuilder&) = delete;
+
+  // Adds a node named `name` with label `label`.  If `name` already
+  // exists its id is returned and the label is left unchanged.
+  NodeId AddNode(std::string_view name, std::string_view label);
+
+  // Adds a node whose label equals its name (common for ontology-style
+  // graphs where the entity *is* the label).
+  NodeId AddNode(std::string_view name) { return AddNode(name, name); }
+
+  // Adds edge from -> to with the given edge label, creating missing
+  // endpoint nodes (labeled by their names).  Returns false on duplicate.
+  bool AddEdge(std::string_view from, std::string_view to,
+               std::string_view edge_label = "-");
+
+  // Id of a previously added node, or kInvalidNode.
+  NodeId NodeIdOf(std::string_view name) const;
+
+  const Graph& graph() const { return graph_; }
+  Graph&& TakeGraph() { return std::move(graph_); }
+  LabelDictionary* dict() { return dict_; }
+
+ private:
+  LabelDictionary* dict_;
+  Graph graph_;
+  std::unordered_map<std::string, NodeId> node_ids_;
+};
+
+// Checks that `query` is usable as a query graph: non-empty and weakly
+// connected (the paper's queries are connected patterns; a disconnected
+// query would make the match score decomposable and the search wasteful).
+Status ValidateQuery(const Graph& query);
+
+}  // namespace osq
+
+#endif  // OSQ_GRAPH_QUERY_GRAPH_H_

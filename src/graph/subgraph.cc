@@ -1,0 +1,36 @@
+#include "graph/subgraph.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace osq {
+
+Subgraph InducedSubgraph(const Graph& g, const std::vector<NodeId>& nodes) {
+  Subgraph sub;
+  sub.from_original.assign(g.num_nodes(), kInvalidNode);
+
+  std::vector<NodeId> sorted = nodes;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+
+  sub.to_original.reserve(sorted.size());
+  for (NodeId u : sorted) {
+    OSQ_CHECK(g.IsValidNode(u));
+    NodeId v = sub.graph.AddNode(g.NodeLabel(u));
+    sub.to_original.push_back(u);
+    sub.from_original[u] = v;
+  }
+  for (NodeId u : sorted) {
+    NodeId v = sub.from_original[u];
+    for (const AdjEntry& e : g.OutEdges(u)) {
+      NodeId w = sub.from_original[e.node];
+      if (w != kInvalidNode) {
+        sub.graph.AddEdge(v, w, e.label);
+      }
+    }
+  }
+  return sub;
+}
+
+}  // namespace osq

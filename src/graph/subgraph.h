@@ -1,0 +1,35 @@
+// Induced-subgraph extraction.
+//
+// The filtering phase (paper §IV-B) produces the compact subgraph G_v of
+// the data graph induced by the surviving candidate nodes; verification
+// then runs entirely on G_v.  InducedSubgraph materializes that subgraph
+// with a node-id remapping in both directions.
+
+#ifndef OSQ_GRAPH_SUBGRAPH_H_
+#define OSQ_GRAPH_SUBGRAPH_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace osq {
+
+// A subgraph together with the correspondence to the original graph.
+struct Subgraph {
+  Graph graph;
+  // to_original[v] is the original id of subgraph node v.
+  std::vector<NodeId> to_original;
+  // from_original[u] is the subgraph id of original node u, or kInvalidNode
+  // if u is not in the subgraph.  Sized to the original node count.
+  std::vector<NodeId> from_original;
+};
+
+// Extracts the subgraph of `g` induced by `nodes` (need not be sorted;
+// duplicates are ignored).  Keeps every edge of `g` whose endpoints are
+// both selected, with its edge label.
+Subgraph InducedSubgraph(const Graph& g, const std::vector<NodeId>& nodes);
+
+}  // namespace osq
+
+#endif  // OSQ_GRAPH_SUBGRAPH_H_

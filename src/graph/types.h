@@ -1,0 +1,33 @@
+// Fundamental identifier types shared by the graph, ontology and index
+// layers.  Node ids are dense indexes into a graph's node array; label ids
+// are dense indexes into a LabelDictionary shared by a data graph, its
+// queries and its ontology graph.
+
+#ifndef OSQ_GRAPH_TYPES_H_
+#define OSQ_GRAPH_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace osq {
+
+// Identifies a node of a data graph, query graph or concept graph.
+using NodeId = uint32_t;
+
+// Identifies a node label or edge label in a LabelDictionary.  Ontology
+// graph nodes *are* labels, so LabelId also identifies ontology nodes.
+using LabelId = uint32_t;
+
+// Identifies a block (grouped node) of a concept graph.
+using BlockId = uint32_t;
+
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+inline constexpr LabelId kInvalidLabel = std::numeric_limits<LabelId>::max();
+inline constexpr BlockId kInvalidBlock = std::numeric_limits<BlockId>::max();
+
+// Edge label used when a graph's edges carry no meaningful type.
+inline constexpr LabelId kDefaultEdgeLabel = 0;
+
+}  // namespace osq
+
+#endif  // OSQ_GRAPH_TYPES_H_

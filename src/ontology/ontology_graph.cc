@@ -1,0 +1,174 @@
+#include "ontology/ontology_graph.h"
+
+#include <algorithm>
+#include <deque>
+#include <fstream>
+#include <sstream>
+
+#include "common/check.h"
+#include "graph/graph.h"
+#include "graph/graph_io.h"
+
+namespace osq {
+
+namespace {
+
+const std::vector<LabelId>& EmptyNeighbors() {
+  static const std::vector<LabelId>* const kEmpty = new std::vector<LabelId>();
+  return *kEmpty;
+}
+
+}  // namespace
+
+void OntologyGraph::AddLabel(LabelId label) {
+  OSQ_CHECK(label != kInvalidLabel);
+  if (label >= present_.size()) {
+    present_.resize(label + 1, false);
+    adj_.resize(label + 1);
+  }
+  if (!present_[label]) {
+    present_[label] = true;
+    ++num_labels_;
+  }
+}
+
+bool OntologyGraph::AddRelation(LabelId a, LabelId b) {
+  if (a == b) return false;
+  AddLabel(a);
+  AddLabel(b);
+  auto insert = [](std::vector<LabelId>* adj, LabelId x) {
+    auto it = std::lower_bound(adj->begin(), adj->end(), x);
+    if (it != adj->end() && *it == x) return false;
+    adj->insert(it, x);
+    return true;
+  };
+  if (!insert(&adj_[a], b)) {
+    return false;
+  }
+  bool inserted = insert(&adj_[b], a);
+  OSQ_DCHECK(inserted);
+  (void)inserted;
+  ++num_relations_;
+  return true;
+}
+
+const std::vector<LabelId>& OntologyGraph::Neighbors(LabelId label) const {
+  if (!ContainsLabel(label)) {
+    return EmptyNeighbors();
+  }
+  return adj_[label];
+}
+
+std::vector<LabelId> OntologyGraph::Labels() const {
+  std::vector<LabelId> labels;
+  labels.reserve(num_labels_);
+  for (LabelId l = 0; l < present_.size(); ++l) {
+    if (present_[l]) labels.push_back(l);
+  }
+  return labels;
+}
+
+void OntologyGraph::BeginVisit() const {
+  if (visit_mark_.size() < present_.size()) {
+    visit_mark_.resize(present_.size(), 0);
+  }
+  if (++visit_epoch_ == 0) {  // epoch wrapped: clear once, restart at 1
+    std::fill(visit_mark_.begin(), visit_mark_.end(), 0);
+    visit_epoch_ = 1;
+  }
+}
+
+bool OntologyGraph::MarkVisited(LabelId l) const {
+  if (visit_mark_[l] == visit_epoch_) return false;
+  visit_mark_[l] = visit_epoch_;
+  return true;
+}
+
+uint32_t OntologyGraph::Distance(LabelId a, LabelId b,
+                                 uint32_t max_distance) const {
+  if (a == b) return 0;
+  if (!ContainsLabel(a) || !ContainsLabel(b)) {
+    return kInfiniteDistance;
+  }
+  if (max_distance == 0) return kInfiniteDistance;
+  BeginVisit();
+  std::deque<LabelDistance> queue;
+  MarkVisited(a);
+  queue.push_back({a, 0});
+  while (!queue.empty()) {
+    LabelDistance cur = queue.front();
+    queue.pop_front();
+    if (cur.distance >= max_distance) continue;
+    for (LabelId next : adj_[cur.label]) {
+      if (!MarkVisited(next)) continue;
+      if (next == b) return cur.distance + 1;
+      queue.push_back({next, cur.distance + 1});
+    }
+  }
+  return kInfiniteDistance;
+}
+
+std::vector<LabelDistance> OntologyGraph::BallAround(
+    LabelId source, uint32_t max_distance) const {
+  std::vector<LabelDistance> ball;
+  if (!ContainsLabel(source)) {
+    return ball;
+  }
+  BeginVisit();
+  MarkVisited(source);
+  ball.push_back({source, 0});
+  size_t head = 0;
+  while (head < ball.size()) {
+    LabelDistance cur = ball[head++];
+    if (cur.distance >= max_distance) continue;
+    for (LabelId next : adj_[cur.label]) {
+      if (!MarkVisited(next)) continue;
+      ball.push_back({next, cur.distance + 1});
+    }
+  }
+  return ball;
+}
+
+Status SaveOntology(const OntologyGraph& o, const LabelDictionary& dict,
+                    const std::string& path) {
+  // Reuse the graph text format: project the ontology onto a Graph whose
+  // node ids are positions in Labels() and whose edges go low id -> high id.
+  Graph g;
+  std::vector<LabelId> labels = o.Labels();
+  std::vector<NodeId> node_of(dict.size(), kInvalidNode);
+  for (LabelId l : labels) {
+    node_of[l] = g.AddNode(l);
+  }
+  for (LabelId l : labels) {
+    for (LabelId m : o.Neighbors(l)) {
+      if (l < m) {
+        g.AddEdge(node_of[l], node_of[m], kDefaultEdgeLabel);
+      }
+    }
+  }
+  // kDefaultEdgeLabel is dictionary id 0 which may hold any string; that is
+  // fine — LoadOntologyFromFile ignores edge labels.
+  return SaveGraphToFile(g, dict, path);
+}
+
+Status LoadOntologyFromFile(const std::string& path, LabelDictionary* dict,
+                            OntologyGraph* o) {
+  if (dict == nullptr || o == nullptr) {
+    return Status::InvalidArgument("null argument to LoadOntologyFromFile");
+  }
+  Graph g;
+  OSQ_RETURN_IF_ERROR(LoadGraphFromFile(path, dict, &g));
+  OntologyGraph result;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    result.AddLabel(g.NodeLabel(v));
+  }
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (const AdjEntry& e : g.OutEdges(v)) {
+      result.AddRelation(g.NodeLabel(v), g.NodeLabel(e.node));
+    }
+  }
+  *o = std::move(result);
+  return Status::Ok();
+}
+
+}  // namespace osq

@@ -1,0 +1,103 @@
+// Ontology graph (paper §II-A): an undirected graph whose nodes are labels
+// (entities/concepts) and whose edges are semantic relations ("is a",
+// "refers to", ...).  Node identity is the LabelId from the shared
+// LabelDictionary, so ontology nodes and data-graph node labels coincide.
+//
+// The engine only ever needs *bounded* distance queries: the similarity
+// function sim(l1, l2) = base^dist(l1, l2) is below any useful threshold
+// once dist exceeds a small radius, so all lookups take a distance cap.
+
+#ifndef OSQ_ONTOLOGY_ONTOLOGY_GRAPH_H_
+#define OSQ_ONTOLOGY_ONTOLOGY_GRAPH_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/label_dictionary.h"
+#include "graph/types.h"
+
+namespace osq {
+
+inline constexpr uint32_t kInfiniteDistance =
+    std::numeric_limits<uint32_t>::max();
+
+// A label together with its hop distance from a BFS source.
+struct LabelDistance {
+  LabelId label;
+  uint32_t distance;
+
+  friend bool operator==(const LabelDistance&, const LabelDistance&) = default;
+};
+
+class OntologyGraph {
+ public:
+  OntologyGraph() = default;
+
+  OntologyGraph(const OntologyGraph&) = default;
+  OntologyGraph& operator=(const OntologyGraph&) = default;
+  OntologyGraph(OntologyGraph&&) = default;
+  OntologyGraph& operator=(OntologyGraph&&) = default;
+
+  // Registers `label` as an ontology node (idempotent).
+  void AddLabel(LabelId label);
+
+  // Adds the undirected relation {a, b}, registering missing endpoints.
+  // Self-loops are ignored.  Returns false on duplicate or self-loop.
+  bool AddRelation(LabelId a, LabelId b);
+
+  bool ContainsLabel(LabelId label) const {
+    return label < present_.size() && present_[label];
+  }
+
+  // Neighbors of `label` (sorted).  `label` must be an ontology node.
+  const std::vector<LabelId>& Neighbors(LabelId label) const;
+
+  size_t num_labels() const { return num_labels_; }
+  size_t num_relations() const { return num_relations_; }
+
+  // All registered labels in increasing id order.  O(universe size).
+  std::vector<LabelId> Labels() const;
+
+  // Hop distance from `a` to `b`, or kInfiniteDistance if it exceeds
+  // `max_distance` (or either endpoint is not an ontology node).
+  //
+  // Thread-compatibility note: Distance and BallAround reuse an internal
+  // epoch-stamped scratch buffer to avoid per-call allocation (they are
+  // the engine's hottest primitives).  Concurrent calls on the SAME
+  // OntologyGraph instance therefore require external synchronization;
+  // distinct instances are independent.
+  uint32_t Distance(LabelId a, LabelId b, uint32_t max_distance) const;
+
+  // All labels within `max_distance` hops of `source` (including source at
+  // distance 0), in BFS order.  Empty if source is not an ontology node.
+  std::vector<LabelDistance> BallAround(LabelId source,
+                                        uint32_t max_distance) const;
+
+ private:
+  // Starts a new visited-set generation; MarkVisited then answers "first
+  // time seen this generation?" in O(1) without clearing the buffer.
+  void BeginVisit() const;
+  bool MarkVisited(LabelId l) const;
+  // Adjacency indexed directly by LabelId; slots for non-ontology labels
+  // (e.g. edge labels in the shared dictionary) stay empty.
+  std::vector<std::vector<LabelId>> adj_;
+  std::vector<bool> present_;
+  size_t num_labels_ = 0;
+  size_t num_relations_ = 0;
+  // Scratch for BFS (see thread-compatibility note above).
+  mutable std::vector<uint32_t> visit_mark_;
+  mutable uint32_t visit_epoch_ = 0;
+};
+
+// Text persistence in the graph_io format ("v <id> <label>" declares an
+// ontology node, "e <a> <b> <ignored>" a relation; direction is dropped).
+Status SaveOntology(const OntologyGraph& o, const LabelDictionary& dict,
+                    const std::string& path);
+Status LoadOntologyFromFile(const std::string& path, LabelDictionary* dict,
+                            OntologyGraph* o);
+
+}  // namespace osq
+
+#endif  // OSQ_ONTOLOGY_ONTOLOGY_GRAPH_H_

@@ -1,0 +1,113 @@
+#include "ontology/ontology_partition.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/check.h"
+
+namespace osq {
+
+std::vector<uint32_t> PartitionOntology(const OntologyGraph& o,
+                                        size_t num_clusters, Rng* rng) {
+  OSQ_CHECK(rng != nullptr);
+  std::vector<LabelId> labels = o.Labels();
+  std::vector<uint32_t> cluster;
+  if (labels.empty()) {
+    return cluster;
+  }
+  LabelId max_label = labels.back();
+  cluster.assign(max_label + 1, kInvalidCluster);
+  if (num_clusters == 0) num_clusters = 1;
+  if (num_clusters > labels.size()) num_clusters = labels.size();
+
+  // Pick distinct random seeds and grow all of them breadth-first in
+  // lockstep; ties go to the seed that reaches a label first.
+  std::vector<LabelId> order = labels;
+  rng->Shuffle(&order);
+  std::deque<LabelId> queue;
+  uint32_t next_cluster = 0;
+  for (size_t i = 0; i < num_clusters; ++i) {
+    cluster[order[i]] = next_cluster++;
+    queue.push_back(order[i]);
+  }
+  while (!queue.empty()) {
+    LabelId l = queue.front();
+    queue.pop_front();
+    for (LabelId m : o.Neighbors(l)) {
+      if (cluster[m] == kInvalidCluster) {
+        cluster[m] = cluster[l];
+        queue.push_back(m);
+      }
+    }
+  }
+  // Labels in components that no seed touched become their own clusters so
+  // the partition always covers the whole ontology.
+  for (LabelId l : labels) {
+    if (cluster[l] == kInvalidCluster) {
+      cluster[l] = next_cluster++;
+      queue.push_back(l);
+      while (!queue.empty()) {
+        LabelId x = queue.front();
+        queue.pop_front();
+        for (LabelId m : o.Neighbors(x)) {
+          if (cluster[m] == kInvalidCluster) {
+            cluster[m] = cluster[l];
+            queue.push_back(m);
+          }
+        }
+      }
+    }
+  }
+  return cluster;
+}
+
+std::vector<LabelId> SelectConceptLabels(const OntologyGraph& o,
+                                         const SimilarityFunction& sim,
+                                         double beta, size_t num_clusters,
+                                         Rng* rng) {
+  OSQ_CHECK(rng != nullptr);
+  std::vector<LabelId> labels = o.Labels();
+  std::vector<LabelId> concepts;
+  if (labels.empty()) {
+    return concepts;
+  }
+  std::vector<uint32_t> cluster = PartitionOntology(o, num_clusters, rng);
+
+  // Visit labels cluster by cluster, random order within a cluster, and
+  // greedily keep any label not yet within Radius(beta) of a chosen one.
+  std::vector<LabelId> order = labels;
+  rng->Shuffle(&order);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](LabelId a, LabelId b) { return cluster[a] < cluster[b]; });
+
+  uint32_t radius = sim.Radius(beta);
+  std::vector<bool> covered(labels.back() + 1, false);
+  for (LabelId l : order) {
+    if (covered[l]) continue;
+    concepts.push_back(l);
+    for (const LabelDistance& ld : o.BallAround(l, radius)) {
+      covered[ld.label] = true;
+    }
+  }
+  std::sort(concepts.begin(), concepts.end());
+  return concepts;
+}
+
+bool CoversAllLabels(const OntologyGraph& o, const SimilarityFunction& sim,
+                     double beta, const std::vector<LabelId>& concepts) {
+  std::vector<LabelId> labels = o.Labels();
+  if (labels.empty()) return true;
+  uint32_t radius = sim.Radius(beta);
+  std::vector<bool> covered(labels.back() + 1, false);
+  for (LabelId c : concepts) {
+    for (const LabelDistance& ld : o.BallAround(c, radius)) {
+      covered[ld.label] = true;
+    }
+  }
+  for (LabelId l : labels) {
+    if (!covered[l]) return false;
+  }
+  return true;
+}
+
+}  // namespace osq

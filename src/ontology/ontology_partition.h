@@ -1,0 +1,51 @@
+// Concept-label selection (paper §IV-A, "Concept labels selection").
+//
+// OntoIdx needs N distinct concept label sets, each with the *cover*
+// property: for every ontology label l there is a concept label c with
+// sim(l, c) >= beta.  The paper's strategy: (1) partition the ontology
+// graph into clusters (it cites generic graph clustering / ontology
+// partitioning), then (2) within each cluster greedily pick a label and
+// discard every label within similarity beta of it, repeating until the
+// cluster is exhausted.
+//
+// We implement (1) as multi-seed BFS (Voronoi) partitioning and (2) as a
+// greedy dominating set at radius Radius(beta).  Distinct seeds/visit
+// orders produce the N distinct sets.
+
+#ifndef OSQ_ONTOLOGY_ONTOLOGY_PARTITION_H_
+#define OSQ_ONTOLOGY_ONTOLOGY_PARTITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/types.h"
+#include "ontology/ontology_graph.h"
+#include "ontology/similarity.h"
+
+namespace osq {
+
+// Assigns every ontology label to one of (at most) `num_clusters` clusters
+// by BFS from randomly chosen seeds; every connected component receives at
+// least one seed, so all labels are assigned.  Returns cluster ids indexed
+// by LabelId (kInvalidCluster for non-ontology slots).
+inline constexpr uint32_t kInvalidCluster =
+    std::numeric_limits<uint32_t>::max();
+std::vector<uint32_t> PartitionOntology(const OntologyGraph& o,
+                                        size_t num_clusters, Rng* rng);
+
+// Produces one concept label set with the cover property for `beta`
+// (see file comment).  `num_clusters` controls diversity; the Rng makes
+// repeated calls return different (but all valid) sets.
+std::vector<LabelId> SelectConceptLabels(const OntologyGraph& o,
+                                         const SimilarityFunction& sim,
+                                         double beta, size_t num_clusters,
+                                         Rng* rng);
+
+// Verifies the cover property; used by tests and OSQ_DCHECK paths.
+bool CoversAllLabels(const OntologyGraph& o, const SimilarityFunction& sim,
+                     double beta, const std::vector<LabelId>& concepts);
+
+}  // namespace osq
+
+#endif  // OSQ_ONTOLOGY_ONTOLOGY_PARTITION_H_

@@ -1,0 +1,99 @@
+#include "ontology/similarity.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace osq {
+
+namespace {
+
+// Tolerance absorbing floating-point round-off when comparing sim(d) with a
+// threshold, so e.g. Radius(0.81) with base 0.9 is exactly 2.
+constexpr double kEps = 1e-9;
+
+}  // namespace
+
+SimilarityFunction::SimilarityFunction(double base)
+    : SimilarityFunction(SimilarityModel::kExponential, base, 0) {}
+
+SimilarityFunction SimilarityFunction::Linear(uint32_t cutoff) {
+  OSQ_CHECK(cutoff >= 1);
+  return SimilarityFunction(SimilarityModel::kLinear, 0.0, cutoff);
+}
+
+SimilarityFunction SimilarityFunction::Reciprocal() {
+  return SimilarityFunction(SimilarityModel::kReciprocal, 0.0, 0);
+}
+
+SimilarityFunction::SimilarityFunction(SimilarityModel model, double base,
+                                       uint32_t cutoff)
+    : model_(model), base_(base), cutoff_(cutoff) {
+  if (model_ == SimilarityModel::kExponential) {
+    OSQ_CHECK(base > 0.0 && base < 1.0);
+    pow_.resize(kMaxRadius + 1);
+    double p = 1.0;
+    for (uint32_t d = 0; d <= kMaxRadius; ++d) {
+      pow_[d] = p;
+      p *= base_;
+    }
+  }
+}
+
+double SimilarityFunction::SimAtDistance(uint32_t distance) const {
+  if (distance == kInfiniteDistance) return 0.0;
+  switch (model_) {
+    case SimilarityModel::kExponential:
+      if (distance <= kMaxRadius) return pow_[distance];
+      return std::pow(base_, static_cast<double>(distance));
+    case SimilarityModel::kLinear: {
+      double span = static_cast<double>(cutoff_) + 1.0;
+      double s = 1.0 - static_cast<double>(distance) / span;
+      return s > 0.0 ? s : 0.0;
+    }
+    case SimilarityModel::kReciprocal:
+      return 1.0 / (1.0 + static_cast<double>(distance));
+  }
+  return 0.0;
+}
+
+uint32_t SimilarityFunction::Radius(double theta) const {
+  if (theta > 1.0) return 0;
+  switch (model_) {
+    case SimilarityModel::kExponential: {
+      if (theta <= 0.0) return kMaxRadius;
+      // base^d >= theta  <=>  d <= log(theta) / log(base)  (logs < 0).
+      double bound = std::log(theta) / std::log(base_);
+      uint32_t radius = static_cast<uint32_t>(std::floor(bound + kEps));
+      return radius > kMaxRadius ? kMaxRadius : radius;
+    }
+    case SimilarityModel::kLinear: {
+      if (theta <= 0.0) return cutoff_;
+      // 1 - d/(c+1) >= theta  <=>  d <= (1 - theta)(c + 1).
+      double bound =
+          (1.0 - theta) * (static_cast<double>(cutoff_) + 1.0);
+      uint32_t radius = static_cast<uint32_t>(std::floor(bound + kEps));
+      return radius > cutoff_ ? cutoff_ : radius;
+    }
+    case SimilarityModel::kReciprocal: {
+      if (theta <= 0.0) return kMaxRadius;
+      // 1/(1+d) >= theta  <=>  d <= 1/theta - 1.
+      double bound = 1.0 / theta - 1.0;
+      if (bound < 0.0) return 0;
+      uint32_t radius = static_cast<uint32_t>(std::floor(bound + kEps));
+      return radius > kMaxRadius ? kMaxRadius : radius;
+    }
+  }
+  return 0;
+}
+
+double SimilarityFunction::Similarity(const OntologyGraph& o, LabelId a,
+                                      LabelId b, double theta_floor) const {
+  if (a == b) return 1.0;
+  uint32_t radius = Radius(theta_floor);
+  uint32_t d = o.Distance(a, b, radius);
+  if (d == kInfiniteDistance) return 0.0;
+  return SimAtDistance(d);
+}
+
+}  // namespace osq

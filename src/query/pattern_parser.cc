@@ -1,0 +1,230 @@
+#include "query/pattern_parser.h"
+
+#include <cctype>
+#include <fstream>
+#include <vector>
+
+namespace osq {
+
+namespace {
+
+// Hand-rolled scanner over the pattern text; keeps a byte offset for
+// error messages.
+class Scanner {
+ public:
+  explicit Scanner(std::string_view text) : text_(text) {}
+
+  size_t pos() const { return pos_; }
+  bool AtEnd() {
+    SkipSpace();
+    return pos_ >= text_.size();
+  }
+
+  // Consumes `token` if it is next; returns false otherwise.
+  bool Consume(std::string_view token) {
+    SkipSpace();
+    if (text_.substr(pos_, token.size()) != token) {
+      return false;
+    }
+    pos_ += token.size();
+    return true;
+  }
+
+  // Reads an identifier ([A-Za-z0-9_./-]+); empty result means "none".
+  std::string_view Identifier() {
+    SkipSpace();
+    size_t start = pos_;
+    while (pos_ < text_.size() && IsIdentChar(text_[pos_])) {
+      ++pos_;
+    }
+    return text_.substr(start, pos_ - start);
+  }
+
+ private:
+  static bool IsIdentChar(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '.' || c == '/' || c == '+';
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == '#') {  // line comment
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+Status ParseError(const Scanner& scanner, const std::string& what) {
+  return Status::InvalidArgument(what + " at offset " +
+                                 std::to_string(scanner.pos()));
+}
+
+}  // namespace
+
+Status ParsePattern(std::string_view text, LabelDictionary* dict,
+                    ParsedPattern* out,
+                    std::string_view default_edge_label) {
+  if (dict == nullptr || out == nullptr) {
+    return Status::InvalidArgument("null argument to ParsePattern");
+  }
+  Scanner scanner(text);
+  ParsedPattern result;
+
+  // Parses one '(name[:label])'; returns the node id via `node`.
+  auto parse_node = [&](NodeId* node) -> Status {
+    if (!scanner.Consume("(")) {
+      return ParseError(scanner, "expected '('");
+    }
+    std::string name(scanner.Identifier());
+    if (name.empty()) {
+      return ParseError(scanner, "expected node name");
+    }
+    std::string label;
+    if (scanner.Consume(":")) {
+      label = std::string(scanner.Identifier());
+      if (label.empty()) {
+        return ParseError(scanner, "expected node label after ':'");
+      }
+    }
+    if (!scanner.Consume(")")) {
+      return ParseError(scanner, "expected ')'");
+    }
+    auto it = result.node_ids.find(name);
+    if (it != result.node_ids.end()) {
+      if (!label.empty() &&
+          result.query.NodeLabel(it->second) != dict->Intern(label)) {
+        return ParseError(scanner,
+                          "node '" + name + "' redeclared with a different "
+                          "label");
+      }
+      *node = it->second;
+      return Status::Ok();
+    }
+    if (label.empty()) {
+      return ParseError(scanner, "first use of node '" + name +
+                                     "' needs a ':label'");
+    }
+    *node = result.query.AddNode(dict->Intern(label));
+    result.node_ids.emplace(std::move(name), *node);
+    return Status::Ok();
+  };
+
+  while (true) {
+    NodeId current;
+    OSQ_RETURN_IF_ERROR(parse_node(&current));
+    // Chain of edges.
+    while (true) {
+      bool forward;
+      if (scanner.Consume("-[")) {
+        forward = true;
+      } else if (scanner.Consume("<-[")) {
+        forward = false;
+      } else {
+        break;
+      }
+      std::string edge_label(scanner.Identifier());
+      if (edge_label.empty()) {
+        edge_label = std::string(default_edge_label);
+      }
+      if (forward) {
+        if (!scanner.Consume("]->")) {
+          return ParseError(scanner, "expected ']->'");
+        }
+      } else {
+        if (!scanner.Consume("]-")) {
+          return ParseError(scanner, "expected ']-'");
+        }
+      }
+      NodeId next;
+      OSQ_RETURN_IF_ERROR(parse_node(&next));
+      NodeId from = forward ? current : next;
+      NodeId to = forward ? next : current;
+      result.query.AddEdge(from, to, dict->Intern(edge_label));
+      current = next;
+    }
+    if (scanner.Consume(",")) {
+      continue;
+    }
+    if (scanner.AtEnd()) {
+      break;
+    }
+    return ParseError(scanner, "unexpected input");
+  }
+  if (result.query.empty()) {
+    return Status::InvalidArgument("empty pattern");
+  }
+  *out = std::move(result);
+  return Status::Ok();
+}
+
+Status LoadPatternsFromFile(const std::string& path, LabelDictionary* dict,
+                            std::vector<ParsedPattern>* out,
+                            std::string_view default_edge_label) {
+  if (dict == nullptr || out == nullptr) {
+    return Status::InvalidArgument("null argument to LoadPatternsFromFile");
+  }
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::IoError("cannot open for reading: " + path);
+  }
+  std::vector<ParsedPattern> patterns;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    // Skip blanks and comment-only lines cheaply before parsing.
+    size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    ParsedPattern pattern;
+    Status s = ParsePattern(line, dict, &pattern, default_edge_label);
+    if (!s.ok()) {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": " + s.message());
+    }
+    patterns.push_back(std::move(pattern));
+  }
+  *out = std::move(patterns);
+  return Status::Ok();
+}
+
+std::string FormatPattern(const Graph& query, const LabelDictionary& dict) {
+  std::string text;
+  auto node_ref = [&](NodeId v, bool with_label) {
+    std::string s = "(n" + std::to_string(v);
+    if (with_label) {
+      s += ":" + dict.Name(query.NodeLabel(v));
+    }
+    s += ")";
+    return s;
+  };
+  std::vector<bool> declared(query.num_nodes(), false);
+  bool first = true;
+  for (const EdgeTriple& e : query.EdgeList()) {
+    if (!first) text += ", ";
+    first = false;
+    text += node_ref(e.from, !declared[e.from]);
+    declared[e.from] = true;
+    text += "-[" + dict.Name(e.label) + "]->";
+    text += node_ref(e.to, !declared[e.to]);
+    declared[e.to] = true;
+  }
+  for (NodeId v = 0; v < query.num_nodes(); ++v) {
+    if (!declared[v]) {
+      if (!first) text += ", ";
+      first = false;
+      text += node_ref(v, true);
+    }
+  }
+  return text;
+}
+
+}  // namespace osq

@@ -1,0 +1,59 @@
+// A compact text syntax for query graphs, in the spirit of Cypher path
+// patterns:
+//
+//   (t:tourists)-[guide]->(m:museum), (t)-[fav]->(r:moonlight),
+//   (r)-[near]->(m)
+//
+// Grammar (whitespace is insignificant; '#' starts a line comment):
+//   pattern  :=  chain (',' chain)*
+//   chain    :=  node (edge node)*
+//   node     :=  '(' name (':' label)? ')'
+//   edge     :=  '-[' label? ']->'   |   '<-[' label? ']-'
+//   name, label :=  [A-Za-z0-9_.:/-]+  (':' excluded from names)
+//
+// A node's label must be given the first time its name appears; later
+// occurrences reference the same query node.  An omitted edge label uses
+// `default_edge_label`.  Parse errors report the byte offset.
+
+#ifndef OSQ_QUERY_PATTERN_PARSER_H_
+#define OSQ_QUERY_PATTERN_PARSER_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/graph.h"
+#include "graph/label_dictionary.h"
+
+namespace osq {
+
+struct ParsedPattern {
+  Graph query;
+  // Pattern node name -> query node id.
+  std::unordered_map<std::string, NodeId> node_ids;
+};
+
+// Parses `text` into a query graph, interning labels into `dict`.
+// On error returns InvalidArgument with the offending offset and leaves
+// `out` untouched.
+Status ParsePattern(std::string_view text, LabelDictionary* dict,
+                    ParsedPattern* out,
+                    std::string_view default_edge_label = "-");
+
+// Renders a query graph back to pattern syntax (one chain per edge,
+// single-node patterns as "(n0:label)").  Inverse of ParsePattern up to
+// node naming.
+std::string FormatPattern(const Graph& query, const LabelDictionary& dict);
+
+// Parses a query-workload file: one pattern per line; blank lines and '#'
+// comment lines are skipped.  Fails (leaving `out` untouched) on the first
+// malformed pattern, reporting its line number.
+Status LoadPatternsFromFile(const std::string& path, LabelDictionary* dict,
+                            std::vector<ParsedPattern>* out,
+                            std::string_view default_edge_label = "-");
+
+}  // namespace osq
+
+#endif  // OSQ_QUERY_PATTERN_PARSER_H_

@@ -1,0 +1,193 @@
+#include "gen/workload.h"
+
+#include <gtest/gtest.h>
+#include "gen/query_gen.h"
+#include "gen/scenarios.h"
+#include "gen/synthetic.h"
+#include "graph/graph_algorithms.h"
+#include "graph/query_graph.h"
+
+namespace osq {
+namespace {
+
+TEST(SyntheticGraphTest, RespectsRequestedSizes) {
+  LabelDictionary dict;
+  gen::SyntheticGraphParams p;
+  p.num_nodes = 500;
+  p.num_edges = 1500;
+  p.num_labels = 30;
+  Graph g = gen::MakeRandomGraph(p, &dict);
+  EXPECT_EQ(g.num_nodes(), 500u);
+  EXPECT_EQ(g.num_edges(), 1500u);
+  EXPECT_TRUE(g.CheckConsistency());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_LT(g.NodeLabel(v), 30u + 3u);  // labels + edge labels interned
+  }
+}
+
+TEST(SyntheticGraphTest, DeterministicForSeed) {
+  LabelDictionary d1;
+  LabelDictionary d2;
+  gen::SyntheticGraphParams p;
+  p.seed = 42;
+  Graph a = gen::MakeRandomGraph(p, &d1);
+  Graph b = gen::MakeRandomGraph(p, &d2);
+  EXPECT_EQ(a.EdgeList(), b.EdgeList());
+}
+
+TEST(SyntheticGraphTest, LabelSkewProducesImbalance) {
+  LabelDictionary dict;
+  gen::SyntheticGraphParams p;
+  p.num_nodes = 2000;
+  p.num_edges = 0;
+  p.num_labels = 10;
+  p.label_skew = 1.2;
+  Graph g = gen::MakeRandomGraph(p, &dict);
+  std::vector<size_t> counts(10, 0);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    ++counts[g.NodeLabel(v) - dict.Lookup("L0")];
+  }
+  EXPECT_GT(counts[0], counts[9] * 2);
+}
+
+TEST(SyntheticOntologyTest, ConnectedAndCoversLabels) {
+  LabelDictionary dict;
+  gen::SyntheticOntologyParams p;
+  p.num_labels = 50;
+  OntologyGraph o = gen::MakeTaxonomyOntology(p, &dict);
+  EXPECT_EQ(o.num_labels(), 50u);
+  EXPECT_GE(o.num_relations(), 49u);  // at least the tree backbone
+  // Connected: every label reachable from label 0.
+  LabelId l0 = dict.Lookup("L0");
+  EXPECT_EQ(o.BallAround(l0, 1000).size(), 50u);
+}
+
+TEST(SyntheticOntologyTest, SharesLabelIdsWithGraph) {
+  LabelDictionary dict;
+  gen::SyntheticGraphParams gp;
+  gp.num_labels = 20;
+  Graph g = gen::MakeRandomGraph(gp, &dict);
+  gen::SyntheticOntologyParams op;
+  op.num_labels = 20;
+  OntologyGraph o = gen::MakeTaxonomyOntology(op, &dict);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_TRUE(o.ContainsLabel(g.NodeLabel(v)));
+  }
+}
+
+TEST(QueryGenTest, ExtractedQueryIsConnectedInducedSubgraph) {
+  LabelDictionary dict;
+  gen::SyntheticGraphParams gp;
+  gp.num_nodes = 200;
+  gp.num_edges = 800;
+  gp.num_labels = 15;
+  Graph g = gen::MakeRandomGraph(gp, &dict);
+  gen::SyntheticOntologyParams op;
+  op.num_labels = 15;
+  OntologyGraph o = gen::MakeTaxonomyOntology(op, &dict);
+  Rng rng(5);
+  gen::QueryGenParams qp;
+  qp.num_nodes = 4;
+  qp.generalize_prob = 0.0;  // keep original labels
+  for (int i = 0; i < 20; ++i) {
+    Graph q = gen::ExtractQuery(g, o, qp, &rng);
+    ASSERT_FALSE(q.empty());
+    EXPECT_EQ(q.num_nodes(), 4u);
+    EXPECT_TRUE(IsWeaklyConnected(q));
+  }
+}
+
+TEST(QueryGenTest, GeneralizationKeepsLabelsInOntology) {
+  LabelDictionary dict;
+  gen::SyntheticGraphParams gp;
+  gp.num_nodes = 200;
+  gp.num_edges = 800;
+  gp.num_labels = 15;
+  Graph g = gen::MakeRandomGraph(gp, &dict);
+  gen::SyntheticOntologyParams op;
+  op.num_labels = 15;
+  OntologyGraph o = gen::MakeTaxonomyOntology(op, &dict);
+  Rng rng(6);
+  gen::QueryGenParams qp;
+  qp.num_nodes = 4;
+  qp.generalize_prob = 1.0;
+  qp.generalize_hops = 2;
+  Graph q = gen::ExtractQuery(g, o, qp, &rng);
+  ASSERT_FALSE(q.empty());
+  for (NodeId u = 0; u < q.num_nodes(); ++u) {
+    EXPECT_TRUE(o.ContainsLabel(q.NodeLabel(u)));
+  }
+}
+
+TEST(QueryGenTest, ImpossibleSizeReturnsEmpty) {
+  LabelDictionary dict;
+  Graph g;
+  g.AddNode(dict.Intern("a"));
+  OntologyGraph o;
+  Rng rng(7);
+  gen::QueryGenParams qp;
+  qp.num_nodes = 5;
+  EXPECT_TRUE(gen::ExtractQuery(g, o, qp, &rng).empty());
+}
+
+TEST(ScenarioTest, CrossDomainLikeShape) {
+  gen::ScenarioParams p;
+  p.scale = 800;
+  gen::Dataset ds = gen::MakeCrossDomainLike(p);
+  EXPECT_EQ(ds.graph.num_nodes(), 800u);
+  EXPECT_GT(ds.graph.num_edges(), 2000u);
+  EXPECT_GT(ds.ontology.num_labels(), 100u);
+  EXPECT_TRUE(ds.graph.CheckConsistency());
+  // Every data label is an ontology concept.
+  for (NodeId v = 0; v < ds.graph.num_nodes(); ++v) {
+    EXPECT_TRUE(ds.ontology.ContainsLabel(ds.graph.NodeLabel(v)));
+  }
+}
+
+TEST(ScenarioTest, FlickrLikeShape) {
+  gen::ScenarioParams p;
+  p.scale = 800;
+  gen::Dataset ds = gen::MakeFlickrLike(p);
+  EXPECT_GT(ds.graph.num_nodes(), 700u);
+  EXPECT_GT(ds.graph.num_edges(), ds.graph.num_nodes());
+  EXPECT_TRUE(ds.graph.CheckConsistency());
+  for (NodeId v = 0; v < ds.graph.num_nodes(); ++v) {
+    EXPECT_TRUE(ds.ontology.ContainsLabel(ds.graph.NodeLabel(v)));
+  }
+  // Photos dominate.
+  LabelId photo = ds.dict.Lookup("photo");
+  size_t photos = 0;
+  for (NodeId v = 0; v < ds.graph.num_nodes(); ++v) {
+    if (ds.graph.NodeLabel(v) == photo) ++photos;
+  }
+  EXPECT_GT(photos, ds.graph.num_nodes() / 3);
+}
+
+TEST(WorkloadTest, CrossDomainWorkloadPopulated) {
+  gen::ScenarioParams p;
+  p.scale = 600;
+  gen::Workload w = gen::MakeCrossDomainWorkload(p, 5);
+  ASSERT_EQ(w.templates.size(), 5u);
+  EXPECT_EQ(w.templates[0].name, "QT1");
+  for (const auto& t : w.templates) {
+    EXPECT_EQ(t.queries.size(), 5u) << t.name;
+    for (const Graph& q : t.queries) {
+      EXPECT_TRUE(ValidateQuery(q).ok());
+      EXPECT_EQ(q.num_nodes(), t.params.num_nodes);
+    }
+  }
+}
+
+TEST(WorkloadTest, FlickrWorkloadPopulated) {
+  gen::ScenarioParams p;
+  p.scale = 600;
+  gen::Workload w = gen::MakeFlickrWorkload(p, 5);
+  ASSERT_EQ(w.templates.size(), 4u);
+  EXPECT_EQ(w.templates[0].name, "QT6");
+  for (const auto& t : w.templates) {
+    EXPECT_GE(t.queries.size(), 1u) << t.name;
+  }
+}
+
+}  // namespace
+}  // namespace osq

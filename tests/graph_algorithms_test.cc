@@ -1,0 +1,102 @@
+#include "graph/graph_algorithms.h"
+
+#include <gtest/gtest.h>
+
+namespace osq {
+namespace {
+
+Graph Path(size_t n) {
+  Graph g;
+  g.AddNodes(n, 0);
+  for (NodeId v = 0; v + 1 < n; ++v) {
+    g.AddEdge(v, v + 1, 0);
+  }
+  return g;
+}
+
+TEST(BfsTest, DistancesOnDirectedPath) {
+  Graph g = Path(5);
+  std::vector<uint32_t> d = BfsDistances(g, 0);
+  for (uint32_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(d[i], i);
+  }
+}
+
+TEST(BfsTest, DirectedBfsRespectsDirection) {
+  Graph g = Path(3);
+  std::vector<uint32_t> d = BfsDistances(g, 2);
+  EXPECT_EQ(d[2], 0u);
+  EXPECT_EQ(d[1], kUnreachable);
+  EXPECT_EQ(d[0], kUnreachable);
+}
+
+TEST(BfsTest, UndirectedBfsIgnoresDirection) {
+  Graph g = Path(3);
+  std::vector<uint32_t> d = UndirectedBfsDistances(g, 2);
+  EXPECT_EQ(d[2], 0u);
+  EXPECT_EQ(d[1], 1u);
+  EXPECT_EQ(d[0], 2u);
+}
+
+TEST(BfsTest, DisconnectedNodeUnreachable) {
+  Graph g = Path(3);
+  g.AddNode(0);  // isolated
+  std::vector<uint32_t> d = BfsDistances(g, 0);
+  EXPECT_EQ(d[3], kUnreachable);
+}
+
+TEST(BfsTest, ShortestPathChosenOverLonger) {
+  Graph g;
+  g.AddNodes(4, 0);
+  g.AddEdge(0, 1, 0);
+  g.AddEdge(1, 3, 0);
+  g.AddEdge(0, 3, 0);  // shortcut
+  std::vector<uint32_t> d = BfsDistances(g, 0);
+  EXPECT_EQ(d[3], 1u);
+}
+
+TEST(ConnectivityTest, PathIsWeaklyConnected) {
+  EXPECT_TRUE(IsWeaklyConnected(Path(4)));
+}
+
+TEST(ConnectivityTest, EmptyGraphNotConnected) {
+  EXPECT_FALSE(IsWeaklyConnected(Graph()));
+}
+
+TEST(ConnectivityTest, SingleNodeConnected) {
+  Graph g;
+  g.AddNode(0);
+  EXPECT_TRUE(IsWeaklyConnected(g));
+}
+
+TEST(ConnectivityTest, TwoComponentsNotConnected) {
+  Graph g = Path(3);
+  g.AddNode(0);
+  EXPECT_FALSE(IsWeaklyConnected(g));
+}
+
+TEST(ComponentsTest, CountsAndLabelsComponents) {
+  Graph g = Path(3);       // component 0: {0,1,2}
+  NodeId a = g.AddNode(0);  // component 1: {3,4}
+  NodeId b = g.AddNode(0);
+  g.AddEdge(b, a, 0);
+  g.AddNode(0);  // component 2: {5}
+  size_t n = 0;
+  std::vector<uint32_t> comp = WeakComponents(g, &n);
+  EXPECT_EQ(n, 3u);
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[1], comp[2]);
+  EXPECT_EQ(comp[3], comp[4]);
+  EXPECT_NE(comp[0], comp[3]);
+  EXPECT_NE(comp[0], comp[5]);
+  EXPECT_NE(comp[3], comp[5]);
+}
+
+TEST(ComponentsTest, NullCountAccepted) {
+  Graph g = Path(2);
+  std::vector<uint32_t> comp = WeakComponents(g, nullptr);
+  EXPECT_EQ(comp[0], comp[1]);
+}
+
+}  // namespace
+}  // namespace osq

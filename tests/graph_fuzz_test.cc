@@ -1,0 +1,82 @@
+// Fuzz-style differential test for the Graph container: a long random
+// sequence of AddEdge / RemoveEdge / HasEdge operations is mirrored against
+// a trivially correct std::set<EdgeTriple> reference, with full structural
+// consistency checks along the way.
+
+#include <set>
+
+#include <gtest/gtest.h>
+#include "common/rng.h"
+#include "graph/graph.h"
+
+namespace osq {
+namespace {
+
+class GraphFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GraphFuzzTest, MatchesSetMirror) {
+  Rng rng(GetParam());
+  constexpr size_t kNodes = 24;
+  constexpr size_t kLabels = 3;
+  Graph g;
+  g.AddNodes(kNodes, 0);
+  std::set<EdgeTriple> mirror;
+
+  for (int step = 0; step < 3000; ++step) {
+    NodeId u = static_cast<NodeId>(rng.Index(kNodes));
+    NodeId v = static_cast<NodeId>(rng.Index(kNodes));
+    LabelId l = static_cast<LabelId>(rng.Index(kLabels));
+    EdgeTriple e{u, v, l};
+    switch (rng.Index(3)) {
+      case 0: {
+        bool inserted_g = g.AddEdge(u, v, l);
+        bool inserted_m = mirror.insert(e).second;
+        ASSERT_EQ(inserted_g, inserted_m) << "step " << step;
+        break;
+      }
+      case 1: {
+        bool removed_g = g.RemoveEdge(u, v, l);
+        bool removed_m = mirror.erase(e) > 0;
+        ASSERT_EQ(removed_g, removed_m) << "step " << step;
+        break;
+      }
+      default: {
+        ASSERT_EQ(g.HasEdge(u, v, l), mirror.count(e) > 0) << "step " << step;
+        bool any = false;
+        for (LabelId x = 0; x < kLabels && !any; ++x) {
+          any = mirror.count({u, v, x}) > 0;
+        }
+        ASSERT_EQ(g.HasEdgeAnyLabel(u, v), any) << "step " << step;
+        break;
+      }
+    }
+    ASSERT_EQ(g.num_edges(), mirror.size()) << "step " << step;
+    if (step % 500 == 0) {
+      ASSERT_TRUE(g.CheckConsistency()) << "step " << step;
+      std::vector<EdgeTriple> listed = g.EdgeList();
+      ASSERT_EQ(listed.size(), mirror.size());
+      for (const EdgeTriple& t : listed) {
+        ASSERT_TRUE(mirror.count(t) > 0);
+      }
+    }
+  }
+  EXPECT_TRUE(g.CheckConsistency());
+
+  // Degree bookkeeping cross-check at the end.
+  for (NodeId v = 0; v < kNodes; ++v) {
+    size_t out = 0;
+    size_t in = 0;
+    for (const EdgeTriple& e : mirror) {
+      if (e.from == v) ++out;
+      if (e.to == v) ++in;
+    }
+    EXPECT_EQ(g.OutDegree(v), out);
+    EXPECT_EQ(g.InDegree(v), in);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GraphFuzzTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+}  // namespace
+}  // namespace osq

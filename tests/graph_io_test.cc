@@ -1,0 +1,150 @@
+#include "graph/graph_io.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace osq {
+namespace {
+
+Graph SampleGraph(LabelDictionary* dict) {
+  Graph g;
+  g.AddNode(dict->Intern("museum"));
+  g.AddNode(dict->Intern("tourists"));
+  g.AddNode(dict->Intern("cafe"));
+  g.AddEdge(1, 0, dict->Intern("guide"));
+  g.AddEdge(1, 2, dict->Intern("fav"));
+  g.AddEdge(2, 0, dict->Intern("near"));
+  return g;
+}
+
+TEST(GraphIoTest, RoundTripThroughStream) {
+  LabelDictionary dict;
+  Graph g = SampleGraph(&dict);
+  std::stringstream ss;
+  ASSERT_TRUE(SaveGraph(g, dict, &ss).ok());
+
+  LabelDictionary dict2;
+  Graph g2;
+  ASSERT_TRUE(LoadGraph(&ss, &dict2, &g2).ok());
+  EXPECT_EQ(g2.num_nodes(), 3u);
+  EXPECT_EQ(g2.num_edges(), 3u);
+  EXPECT_EQ(dict2.Name(g2.NodeLabel(0)), "museum");
+  EXPECT_TRUE(g2.HasEdge(1, 0, dict2.Lookup("guide")));
+  EXPECT_TRUE(g2.HasEdge(2, 0, dict2.Lookup("near")));
+}
+
+TEST(GraphIoTest, RoundTripPreservesParallelEdges) {
+  LabelDictionary dict;
+  Graph g;
+  g.AddNodes(2, dict.Intern("x"));
+  g.AddEdge(0, 1, dict.Intern("a"));
+  g.AddEdge(0, 1, dict.Intern("b"));
+  std::stringstream ss;
+  ASSERT_TRUE(SaveGraph(g, dict, &ss).ok());
+  LabelDictionary dict2;
+  Graph g2;
+  ASSERT_TRUE(LoadGraph(&ss, &dict2, &g2).ok());
+  EXPECT_EQ(g2.num_edges(), 2u);
+}
+
+TEST(GraphIoTest, RoundTripEmptyGraph) {
+  LabelDictionary dict;
+  Graph g;
+  std::stringstream ss;
+  ASSERT_TRUE(SaveGraph(g, dict, &ss).ok());
+  LabelDictionary dict2;
+  Graph g2;
+  ASSERT_TRUE(LoadGraph(&ss, &dict2, &g2).ok());
+  EXPECT_TRUE(g2.empty());
+}
+
+TEST(GraphIoTest, CommentsAndBlankLinesIgnored) {
+  std::stringstream ss("# header\n\nv 0 a\n# mid\nv 1 b\ne 0 1 rel\n");
+  LabelDictionary dict;
+  Graph g;
+  ASSERT_TRUE(LoadGraph(&ss, &dict, &g).ok());
+  EXPECT_EQ(g.num_nodes(), 2u);
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(GraphIoTest, RejectsWhitespaceLabelOnSave) {
+  LabelDictionary dict;
+  Graph g;
+  g.AddNode(dict.Intern("two words"));
+  std::stringstream ss;
+  Status s = SaveGraph(g, dict, &ss);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(GraphIoTest, RejectsNonDenseNodeIds) {
+  std::stringstream ss("v 0 a\nv 2 b\n");
+  LabelDictionary dict;
+  Graph g;
+  EXPECT_EQ(LoadGraph(&ss, &dict, &g).code(), StatusCode::kCorruption);
+}
+
+TEST(GraphIoTest, RejectsEdgeToUnknownNode) {
+  std::stringstream ss("v 0 a\ne 0 5 rel\n");
+  LabelDictionary dict;
+  Graph g;
+  EXPECT_EQ(LoadGraph(&ss, &dict, &g).code(), StatusCode::kCorruption);
+}
+
+TEST(GraphIoTest, RejectsUnknownRecordTag) {
+  std::stringstream ss("x 0 a\n");
+  LabelDictionary dict;
+  Graph g;
+  EXPECT_EQ(LoadGraph(&ss, &dict, &g).code(), StatusCode::kCorruption);
+}
+
+TEST(GraphIoTest, RejectsTruncatedRecord) {
+  std::stringstream ss("v 0\n");
+  LabelDictionary dict;
+  Graph g;
+  EXPECT_EQ(LoadGraph(&ss, &dict, &g).code(), StatusCode::kCorruption);
+}
+
+TEST(GraphIoTest, TargetGraphUntouchedOnFailure) {
+  std::stringstream ss("v 0 a\nbogus\n");
+  LabelDictionary dict;
+  Graph g;
+  g.AddNode(dict.Intern("keep"));
+  EXPECT_FALSE(LoadGraph(&ss, &dict, &g).ok());
+  EXPECT_EQ(g.num_nodes(), 1u);
+  EXPECT_EQ(dict.Name(g.NodeLabel(0)), "keep");
+}
+
+TEST(GraphIoTest, FileRoundTrip) {
+  LabelDictionary dict;
+  Graph g = SampleGraph(&dict);
+  std::string path = testing::TempDir() + "/osq_graph_io_test.graph";
+  ASSERT_TRUE(SaveGraphToFile(g, dict, path).ok());
+  LabelDictionary dict2;
+  Graph g2;
+  ASSERT_TRUE(LoadGraphFromFile(path, &dict2, &g2).ok());
+  EXPECT_EQ(g2.num_nodes(), g.num_nodes());
+  EXPECT_EQ(g2.num_edges(), g.num_edges());
+}
+
+TEST(GraphIoTest, MissingFileIsIoError) {
+  LabelDictionary dict;
+  Graph g;
+  EXPECT_EQ(LoadGraphFromFile("/nonexistent/path.graph", &dict, &g).code(),
+            StatusCode::kIoError);
+}
+
+TEST(GraphIoTest, SharedDictionaryAlignsLabelIds) {
+  LabelDictionary dict;
+  Graph g = SampleGraph(&dict);
+  std::stringstream ss;
+  ASSERT_TRUE(SaveGraph(g, dict, &ss).ok());
+  // Reload into the SAME dictionary: ids must be identical.
+  Graph g2;
+  ASSERT_TRUE(LoadGraph(&ss, &dict, &g2).ok());
+  EXPECT_EQ(g2.NodeLabel(0), g.NodeLabel(0));
+  EXPECT_EQ(g2.NodeLabel(1), g.NodeLabel(1));
+}
+
+}  // namespace
+}  // namespace osq

@@ -1,0 +1,161 @@
+#include "core/index_io.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+#include "core/filtering.h"
+#include "core/kmatch.h"
+#include "gen/scenarios.h"
+#include "gen/query_gen.h"
+#include "test_util.h"
+
+namespace osq {
+namespace {
+
+TEST(IndexIoTest, RoundTripPreservesStructure) {
+  test::TravelFixture f = test::MakeTravelFixture();
+  IndexOptions options;
+  options.num_concept_graphs = 2;
+  OntologyIndex index = OntologyIndex::Build(f.g, f.o, options);
+
+  std::stringstream ss;
+  ASSERT_TRUE(SaveIndex(index, f.dict, &ss).ok());
+
+  OntologyIndex loaded = OntologyIndex::Build(f.g, f.o, options);
+  ASSERT_TRUE(LoadIndex(&ss, f.g, f.o, &f.dict, &loaded).ok());
+  EXPECT_TRUE(loaded.Validate());
+  EXPECT_EQ(loaded.num_concept_graphs(), index.num_concept_graphs());
+  EXPECT_EQ(loaded.TotalSize(), index.TotalSize());
+  for (size_t i = 0; i < index.num_concept_graphs(); ++i) {
+    const ConceptGraph& a = index.concept_graph(i);
+    const ConceptGraph& b = loaded.concept_graph(i);
+    EXPECT_EQ(a.num_blocks(), b.num_blocks());
+    for (NodeId v = 0; v < f.g.num_nodes(); ++v) {
+      // Same partition: nodes grouped together iff grouped together.
+      for (NodeId w = 0; w < f.g.num_nodes(); ++w) {
+        EXPECT_EQ(a.BlockOf(v) == a.BlockOf(w), b.BlockOf(v) == b.BlockOf(w));
+      }
+      EXPECT_EQ(a.BlockLabel(a.BlockOf(v)), b.BlockLabel(b.BlockOf(v)));
+    }
+  }
+}
+
+TEST(IndexIoTest, LoadedIndexAnswersQueriesIdentically) {
+  test::TravelFixture f = test::MakeTravelFixture();
+  IndexOptions options;
+  options.num_concept_graphs = 2;
+  OntologyIndex index = OntologyIndex::Build(f.g, f.o, options);
+  std::stringstream ss;
+  ASSERT_TRUE(SaveIndex(index, f.dict, &ss).ok());
+  OntologyIndex loaded = OntologyIndex::Build(f.g, f.o, options);
+  ASSERT_TRUE(LoadIndex(&ss, f.g, f.o, &f.dict, &loaded).ok());
+
+  QueryOptions qopts;
+  qopts.theta = 0.81;
+  qopts.k = 0;
+  FilterResult fa = GviewFilter(index, f.query, qopts);
+  FilterResult fb = GviewFilter(loaded, f.query, qopts);
+  std::vector<Match> ma = KMatch(f.query, fa, qopts);
+  std::vector<Match> mb = KMatch(f.query, fb, qopts);
+  EXPECT_EQ(ma, mb);
+}
+
+TEST(IndexIoTest, FileRoundTripOnGeneratedDataset) {
+  gen::ScenarioParams p;
+  p.scale = 400;
+  gen::Dataset ds = gen::MakeCrossDomainLike(p);
+  IndexOptions options;
+  options.num_concept_graphs = 2;
+  options.edge_label_aware = true;
+  OntologyIndex index = OntologyIndex::Build(ds.graph, ds.ontology, options);
+
+  std::string path = testing::TempDir() + "/osq_index_io_test.idx";
+  ASSERT_TRUE(SaveIndexToFile(index, ds.dict, path).ok());
+  OntologyIndex loaded = OntologyIndex::Build(ds.graph, ds.ontology, options);
+  ASSERT_TRUE(
+      LoadIndexFromFile(path, ds.graph, ds.ontology, &ds.dict, &loaded).ok());
+  EXPECT_TRUE(loaded.Validate());
+  EXPECT_TRUE(loaded.options().edge_label_aware);
+  EXPECT_EQ(loaded.TotalSize(), index.TotalSize());
+}
+
+TEST(IndexIoTest, RoundTripPreservesSimilarityModel) {
+  test::TravelFixture f = test::MakeTravelFixture();
+  IndexOptions options;
+  options.similarity_model = SimilarityModel::kLinear;
+  options.similarity_cutoff = 3;
+  OntologyIndex index = OntologyIndex::Build(f.g, f.o, options);
+  std::stringstream ss;
+  ASSERT_TRUE(SaveIndex(index, f.dict, &ss).ok());
+  OntologyIndex loaded = OntologyIndex::Build(f.g, f.o, options);
+  ASSERT_TRUE(LoadIndex(&ss, f.g, f.o, &f.dict, &loaded).ok());
+  EXPECT_EQ(loaded.options().similarity_model, SimilarityModel::kLinear);
+  EXPECT_EQ(loaded.sim().model(), SimilarityModel::kLinear);
+  EXPECT_EQ(loaded.sim().cutoff(), 3u);
+}
+
+TEST(IndexIoTest, RejectsMissingHeader) {
+  test::TravelFixture f = test::MakeTravelFixture();
+  std::stringstream ss("garbage\n");
+  OntologyIndex out = OntologyIndex::Build(f.g, f.o, IndexOptions{});
+  EXPECT_EQ(LoadIndex(&ss, f.g, f.o, &f.dict, &out).code(),
+            StatusCode::kCorruption);
+}
+
+TEST(IndexIoTest, RejectsIndexForDifferentGraph) {
+  // Save an index for the travel graph, then try to load it against a
+  // graph whose labels changed: the coverage invariant no longer holds.
+  test::TravelFixture f = test::MakeTravelFixture();
+  IndexOptions options;
+  OntologyIndex index = OntologyIndex::Build(f.g, f.o, options);
+  std::stringstream ss;
+  ASSERT_TRUE(SaveIndex(index, f.dict, &ss).ok());
+
+  test::TravelFixture f2 = test::MakeTravelFixture();
+  f2.g.SetNodeLabel(f2.ct, f2.dict.Intern("zzz_unrelated"));
+  OntologyIndex out = OntologyIndex::Build(f2.g, f2.o, options);
+  Status s = LoadIndex(&ss, f2.g, f2.o, &f2.dict, &out);
+  EXPECT_EQ(s.code(), StatusCode::kCorruption);
+}
+
+TEST(IndexIoTest, RejectsNodeCountMismatch) {
+  test::TravelFixture f = test::MakeTravelFixture();
+  OntologyIndex index = OntologyIndex::Build(f.g, f.o, IndexOptions{});
+  std::stringstream ss;
+  ASSERT_TRUE(SaveIndex(index, f.dict, &ss).ok());
+
+  test::TravelFixture f2 = test::MakeTravelFixture();
+  f2.g.AddNode(f2.dict.Lookup("starlight"));  // one extra node
+  OntologyIndex out = OntologyIndex::Build(f2.g, f2.o, IndexOptions{});
+  EXPECT_EQ(LoadIndex(&ss, f2.g, f2.o, &f2.dict, &out).code(),
+            StatusCode::kCorruption);
+}
+
+TEST(IndexIoTest, RejectsDoubleAssignment) {
+  std::stringstream ss;
+  ss << "# osq index v1\n"
+     << "options 0 0.9 2 0.81 1 8 42 0\n"
+     << "conceptgraph 0 1 1\n"
+     << "concepts a\n"
+     << "block a 2 0 0\n";  // node 0 listed twice
+  LabelDictionary dict;
+  Graph g;
+  g.AddNode(dict.Intern("a"));
+  g.AddNode(dict.Intern("a"));
+  OntologyGraph o;
+  o.AddLabel(dict.Lookup("a"));
+  OntologyIndex out = OntologyIndex::Build(g, o, IndexOptions{});
+  EXPECT_EQ(LoadIndex(&ss, g, o, &dict, &out).code(),
+            StatusCode::kCorruption);
+}
+
+TEST(IndexIoTest, MissingFileIsIoError) {
+  test::TravelFixture f = test::MakeTravelFixture();
+  OntologyIndex out = OntologyIndex::Build(f.g, f.o, IndexOptions{});
+  EXPECT_EQ(LoadIndexFromFile("/nonexistent/idx", f.g, f.o, &f.dict, &out)
+                .code(),
+            StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace osq

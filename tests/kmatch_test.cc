@@ -1,0 +1,314 @@
+#include "core/kmatch.h"
+
+#include <gtest/gtest.h>
+#include "core/ontology_index.h"
+#include "test_util.h"
+
+namespace osq {
+namespace {
+
+OntologyIndex BuildTravelIndex(const test::TravelFixture& f) {
+  IndexOptions options;
+  options.beta = 0.81;
+  options.num_concept_graphs = 2;
+  return OntologyIndex::Build(f.g, f.o, options);
+}
+
+// Paper Example II.2: the best match maps museum->RG, tourists->CT,
+// moonlight->starlight with score 0.9 * 3 = 2.7.
+TEST(KMatchTest, TravelExampleTopMatch) {
+  test::TravelFixture f = test::MakeTravelFixture();
+  OntologyIndex index = BuildTravelIndex(f);
+  QueryOptions options;
+  options.theta = 0.9;
+  options.k = 10;
+  FilterResult filter = GviewFilter(index, f.query, options);
+  KMatchStats stats;
+  std::vector<Match> matches = KMatch(f.query, filter, options, &stats);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_DOUBLE_EQ(matches[0].score, 2.7);
+  EXPECT_EQ(matches[0].mapping[f.q_museum], f.rg);
+  EXPECT_EQ(matches[0].mapping[f.q_tourists], f.ct);
+  EXPECT_EQ(matches[0].mapping[f.q_moonlight], f.starlight);
+  EXPECT_EQ(stats.matches_found, 1u);
+}
+
+TEST(KMatchTest, LowerThetaFindsSecondMatchRankedLower) {
+  test::TravelFixture f = test::MakeTravelFixture();
+  OntologyIndex index = BuildTravelIndex(f);
+  QueryOptions options;
+  options.theta = 0.81;
+  options.k = 10;
+  FilterResult filter = GviewFilter(index, f.query, options);
+  std::vector<Match> matches = KMatch(f.query, filter, options);
+  ASSERT_EQ(matches.size(), 2u);
+  // G' (score 2.7) beats G'' = {Disneyland, HT, HC} (score 2.61).
+  EXPECT_DOUBLE_EQ(matches[0].score, 2.7);
+  EXPECT_NEAR(matches[1].score, 2.61, 1e-12);
+  EXPECT_EQ(matches[1].mapping[f.q_museum], f.disneyland);
+  EXPECT_EQ(matches[1].mapping[f.q_tourists], f.ht);
+  EXPECT_EQ(matches[1].mapping[f.q_moonlight], f.hc);
+}
+
+TEST(KMatchTest, KLimitsResults) {
+  test::TravelFixture f = test::MakeTravelFixture();
+  OntologyIndex index = BuildTravelIndex(f);
+  QueryOptions options;
+  options.theta = 0.81;
+  options.k = 1;
+  FilterResult filter = GviewFilter(index, f.query, options);
+  std::vector<Match> matches = KMatch(f.query, filter, options);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_DOUBLE_EQ(matches[0].score, 2.7);
+}
+
+TEST(KMatchTest, KZeroReturnsAll) {
+  test::TravelFixture f = test::MakeTravelFixture();
+  OntologyIndex index = BuildTravelIndex(f);
+  QueryOptions options;
+  options.theta = 0.81;
+  options.k = 0;
+  FilterResult filter = GviewFilter(index, f.query, options);
+  EXPECT_EQ(KMatch(f.query, filter, options).size(), 2u);
+}
+
+TEST(KMatchTest, NoMatchFilterYieldsEmpty) {
+  FilterResult filter;
+  filter.no_match = true;
+  Graph q;
+  q.AddNode(0);
+  EXPECT_TRUE(KMatch(q, filter, QueryOptions{}).empty());
+}
+
+TEST(KMatchTest, ThetaOneIsExactIsomorphism) {
+  test::TravelFixture f = test::MakeTravelFixture();
+  OntologyIndex index = BuildTravelIndex(f);
+  // Query with exact labels of the CT triangle.
+  StringGraphBuilder qb(&f.dict);
+  qb.AddNode("t", "culture_tours");
+  qb.AddNode("m", "royal_gallery");
+  qb.AddNode("s", "starlight");
+  qb.AddEdge("t", "m", "guide");
+  qb.AddEdge("t", "s", "fav");
+  qb.AddEdge("s", "m", "near");
+  QueryOptions options;
+  options.theta = 1.0;
+  options.k = 10;
+  FilterResult filter = GviewFilter(index, qb.graph(), options);
+  std::vector<Match> matches = KMatch(qb.graph(), filter, options);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_DOUBLE_EQ(matches[0].score, 3.0);  // identical labels score |V_Q|
+}
+
+TEST(KMatchTest, InducedSemanticsRejectsExtraEdges) {
+  // Target has an extra edge inside the matched node set.
+  LabelDictionary dict;
+  Graph target;
+  LabelId a = dict.Intern("a");
+  LabelId b = dict.Intern("b");
+  target.AddNode(a);
+  target.AddNode(b);
+  target.AddEdge(0, 1, 0);
+  target.AddEdge(1, 0, 0);  // extra reverse edge
+
+  Graph query;
+  query.AddNode(a);
+  query.AddNode(b);
+  query.AddEdge(0, 1, 0);
+
+  std::vector<std::vector<Candidate>> cands = {{{0, 1.0}}, {{1, 1.0}}};
+  QueryOptions induced;
+  induced.semantics = MatchSemantics::kInduced;
+  EXPECT_TRUE(KMatchOnGraph(query, target, cands, induced).empty());
+
+  QueryOptions homomorphic;
+  homomorphic.semantics = MatchSemantics::kHomomorphicEdges;
+  EXPECT_EQ(KMatchOnGraph(query, target, cands, homomorphic).size(), 1u);
+}
+
+TEST(KMatchTest, EdgeLabelsMustMatch) {
+  LabelDictionary dict;
+  Graph target;
+  target.AddNode(0);
+  target.AddNode(0);
+  target.AddEdge(0, 1, /*label=*/5);
+
+  Graph query;
+  query.AddNode(0);
+  query.AddNode(0);
+  query.AddEdge(0, 1, /*label=*/6);  // different edge label
+
+  std::vector<std::vector<Candidate>> cands = {{{0, 1.0}, {1, 1.0}},
+                                               {{0, 1.0}, {1, 1.0}}};
+  EXPECT_TRUE(KMatchOnGraph(query, target, cands, QueryOptions{}).empty());
+}
+
+TEST(KMatchTest, InjectivityEnforced) {
+  // Two query nodes may not map to the same data node.
+  Graph target;
+  target.AddNode(0);
+  target.AddEdge(0, 0, 0);  // self loop
+
+  Graph query;
+  query.AddNode(0);
+  query.AddNode(0);
+  query.AddEdge(0, 1, 0);
+
+  std::vector<std::vector<Candidate>> cands = {{{0, 1.0}}, {{0, 1.0}}};
+  EXPECT_TRUE(KMatchOnGraph(query, target, cands, QueryOptions{}).empty());
+}
+
+TEST(KMatchTest, SelfLoopMatching) {
+  Graph target;
+  target.AddNode(0);
+  target.AddNode(0);
+  target.AddEdge(0, 0, 0);
+
+  Graph query;
+  query.AddNode(0);
+  query.AddEdge(0, 0, 0);
+
+  std::vector<std::vector<Candidate>> cands = {{{0, 1.0}, {1, 1.0}}};
+  QueryOptions options;
+  std::vector<Match> matches = KMatchOnGraph(query, target, cands, options);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].mapping[0], 0u);  // only node 0 has the loop
+}
+
+TEST(KMatchTest, ResultsSortedByScoreThenMapping) {
+  // Star query with one center, several candidate leaves of varied sims.
+  Graph target;
+  target.AddNode(0);                    // center
+  for (int i = 0; i < 3; ++i) target.AddNode(1);
+  target.AddEdge(0, 1, 0);
+  target.AddEdge(0, 2, 0);
+  target.AddEdge(0, 3, 0);
+
+  Graph query;
+  query.AddNode(0);
+  query.AddNode(1);
+  query.AddEdge(0, 1, 0);
+
+  std::vector<std::vector<Candidate>> cands = {
+      {{0, 1.0}},
+      {{1, 0.9}, {2, 0.8}, {3, 0.7}},
+  };
+  QueryOptions options;
+  options.k = 0;
+  options.semantics = MatchSemantics::kHomomorphicEdges;
+  std::vector<Match> matches = KMatchOnGraph(query, target, cands, options);
+  ASSERT_EQ(matches.size(), 3u);
+  EXPECT_DOUBLE_EQ(matches[0].score, 1.9);
+  EXPECT_DOUBLE_EQ(matches[1].score, 1.8);
+  EXPECT_DOUBLE_EQ(matches[2].score, 1.7);
+}
+
+TEST(KMatchTest, PruningDoesNotChangeTopK) {
+  // With k = 1 the bound prunes aggressively; the winner must equal the
+  // best of the full enumeration.
+  Graph target;
+  target.AddNode(0);
+  for (int i = 0; i < 5; ++i) target.AddNode(1);
+  for (NodeId v = 1; v <= 5; ++v) target.AddEdge(0, v, 0);
+
+  Graph query;
+  query.AddNode(0);
+  query.AddNode(1);
+  query.AddEdge(0, 1, 0);
+
+  std::vector<std::vector<Candidate>> cands = {
+      {{0, 1.0}},
+      {{1, 0.95}, {2, 0.94}, {3, 0.93}, {4, 0.92}, {5, 0.91}},
+  };
+  QueryOptions all;
+  all.k = 0;
+  all.semantics = MatchSemantics::kHomomorphicEdges;
+  QueryOptions top1 = all;
+  top1.k = 1;
+  std::vector<Match> full = KMatchOnGraph(query, target, cands, all);
+  std::vector<Match> best = KMatchOnGraph(query, target, cands, top1);
+  ASSERT_FALSE(full.empty());
+  ASSERT_EQ(best.size(), 1u);
+  EXPECT_DOUBLE_EQ(best[0].score, full[0].score);
+  EXPECT_EQ(best[0].mapping, full[0].mapping);
+}
+
+TEST(KMatchTest, MaxSearchStepsTruncates) {
+  test::TravelFixture f = test::MakeTravelFixture();
+  OntologyIndex index = BuildTravelIndex(f);
+  QueryOptions options;
+  options.theta = 0.81;
+  options.k = 10;
+  options.max_search_steps = 1;
+  FilterResult filter = GviewFilter(index, f.query, options);
+  KMatchStats stats;
+  KMatch(f.query, filter, options, &stats);
+  EXPECT_TRUE(stats.truncated);
+}
+
+TEST(KMatchTest, EmptyCandidateListYieldsNoMatch) {
+  Graph target;
+  target.AddNode(0);
+  Graph query;
+  query.AddNode(0);
+  std::vector<std::vector<Candidate>> cands = {{}};
+  EXPECT_TRUE(KMatchOnGraph(query, target, cands, QueryOptions{}).empty());
+}
+
+
+TEST(KMatchTest, TiesBeyondKArePrunedButScoreIsOptimal) {
+  // 6 interchangeable leaves with identical similarity: top-2 must return
+  // exactly 2 matches, both at the optimal score, without enumerating all.
+  Graph target;
+  target.AddNode(0);
+  for (int i = 0; i < 6; ++i) target.AddNode(1);
+  for (NodeId v = 1; v <= 6; ++v) target.AddEdge(0, v, 0);
+
+  Graph query;
+  query.AddNode(0);
+  query.AddNode(1);
+  query.AddEdge(0, 1, 0);
+
+  std::vector<std::vector<Candidate>> cands = {{{0, 1.0}}, {}};
+  for (NodeId v = 1; v <= 6; ++v) cands[1].push_back({v, 0.9});
+
+  QueryOptions options;
+  options.k = 2;
+  options.semantics = MatchSemantics::kHomomorphicEdges;
+  KMatchStats stats;
+  std::vector<Match> top = KMatchOnGraph(query, target, cands, options, &stats);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_DOUBLE_EQ(top[0].score, 1.9);
+  EXPECT_DOUBLE_EQ(top[1].score, 1.9);
+  // Tie pruning: strictly fewer complete matches explored than exist.
+  EXPECT_LT(stats.matches_found, 6u);
+
+  QueryOptions all = options;
+  all.k = 0;
+  EXPECT_EQ(KMatchOnGraph(query, target, cands, all).size(), 6u);
+}
+
+TEST(KMatchTest, KZeroResultsSortedBestFirst) {
+  Graph target;
+  target.AddNode(0);
+  for (int i = 0; i < 4; ++i) target.AddNode(1);
+  for (NodeId v = 1; v <= 4; ++v) target.AddEdge(0, v, 0);
+  Graph query;
+  query.AddNode(0);
+  query.AddNode(1);
+  query.AddEdge(0, 1, 0);
+  std::vector<std::vector<Candidate>> cands = {
+      {{0, 1.0}}, {{1, 0.7}, {2, 0.95}, {3, 0.8}, {4, 0.9}}};
+  QueryOptions options;
+  options.k = 0;
+  options.semantics = MatchSemantics::kHomomorphicEdges;
+  std::vector<Match> all = KMatchOnGraph(query, target, cands, options);
+  ASSERT_EQ(all.size(), 4u);
+  for (size_t i = 1; i < all.size(); ++i) {
+    EXPECT_GE(all[i - 1].score, all[i].score);
+  }
+  EXPECT_DOUBLE_EQ(all[0].score, 1.95);
+}
+
+}  // namespace
+}  // namespace osq

@@ -1,0 +1,77 @@
+#include "graph/label_dictionary.h"
+
+#include <gtest/gtest.h>
+
+namespace osq {
+namespace {
+
+TEST(LabelDictionaryTest, StartsEmpty) {
+  LabelDictionary dict;
+  EXPECT_TRUE(dict.empty());
+  EXPECT_EQ(dict.size(), 0u);
+}
+
+TEST(LabelDictionaryTest, InternAssignsDenseIds) {
+  LabelDictionary dict;
+  EXPECT_EQ(dict.Intern("a"), 0u);
+  EXPECT_EQ(dict.Intern("b"), 1u);
+  EXPECT_EQ(dict.Intern("c"), 2u);
+  EXPECT_EQ(dict.size(), 3u);
+}
+
+TEST(LabelDictionaryTest, InternIsIdempotent) {
+  LabelDictionary dict;
+  LabelId a = dict.Intern("museum");
+  EXPECT_EQ(dict.Intern("museum"), a);
+  EXPECT_EQ(dict.size(), 1u);
+}
+
+TEST(LabelDictionaryTest, LookupFindsInterned) {
+  LabelDictionary dict;
+  LabelId a = dict.Intern("x");
+  EXPECT_EQ(dict.Lookup("x"), a);
+}
+
+TEST(LabelDictionaryTest, LookupMissingReturnsInvalid) {
+  LabelDictionary dict;
+  dict.Intern("x");
+  EXPECT_EQ(dict.Lookup("y"), kInvalidLabel);
+}
+
+TEST(LabelDictionaryTest, ContainsMatchesLookup) {
+  LabelDictionary dict;
+  dict.Intern("x");
+  EXPECT_TRUE(dict.Contains("x"));
+  EXPECT_FALSE(dict.Contains("y"));
+}
+
+TEST(LabelDictionaryTest, NameRoundTrips) {
+  LabelDictionary dict;
+  LabelId a = dict.Intern("alpha");
+  LabelId b = dict.Intern("beta");
+  EXPECT_EQ(dict.Name(a), "alpha");
+  EXPECT_EQ(dict.Name(b), "beta");
+}
+
+TEST(LabelDictionaryTest, CopyIsIndependent) {
+  LabelDictionary dict;
+  dict.Intern("a");
+  LabelDictionary copy = dict;
+  copy.Intern("b");
+  EXPECT_EQ(dict.size(), 1u);
+  EXPECT_EQ(copy.size(), 2u);
+  EXPECT_EQ(copy.Lookup("a"), 0u);
+}
+
+TEST(LabelDictionaryTest, ManyLabels) {
+  LabelDictionary dict;
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(dict.Intern("L" + std::to_string(i)),
+              static_cast<LabelId>(i));
+  }
+  EXPECT_EQ(dict.Lookup("L777"), 777u);
+  EXPECT_EQ(dict.Name(999), "L999");
+}
+
+}  // namespace
+}  // namespace osq

@@ -1,0 +1,160 @@
+#include "ontology/ontology_graph.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+#include "test_util.h"
+
+namespace osq {
+namespace {
+
+TEST(OntologyGraphTest, StartsEmpty) {
+  OntologyGraph o;
+  EXPECT_EQ(o.num_labels(), 0u);
+  EXPECT_EQ(o.num_relations(), 0u);
+}
+
+TEST(OntologyGraphTest, AddLabelIdempotent) {
+  OntologyGraph o;
+  o.AddLabel(3);
+  o.AddLabel(3);
+  EXPECT_EQ(o.num_labels(), 1u);
+  EXPECT_TRUE(o.ContainsLabel(3));
+  EXPECT_FALSE(o.ContainsLabel(2));
+}
+
+TEST(OntologyGraphTest, AddRelationRegistersEndpoints) {
+  OntologyGraph o;
+  EXPECT_TRUE(o.AddRelation(1, 5));
+  EXPECT_EQ(o.num_labels(), 2u);
+  EXPECT_EQ(o.num_relations(), 1u);
+  EXPECT_TRUE(o.ContainsLabel(1));
+  EXPECT_TRUE(o.ContainsLabel(5));
+}
+
+TEST(OntologyGraphTest, RelationIsUndirected) {
+  OntologyGraph o;
+  o.AddRelation(1, 2);
+  EXPECT_EQ(o.Neighbors(1), std::vector<LabelId>{2});
+  EXPECT_EQ(o.Neighbors(2), std::vector<LabelId>{1});
+}
+
+TEST(OntologyGraphTest, DuplicateAndSelfRelationRejected) {
+  OntologyGraph o;
+  EXPECT_TRUE(o.AddRelation(1, 2));
+  EXPECT_FALSE(o.AddRelation(2, 1));  // same undirected edge
+  EXPECT_FALSE(o.AddRelation(3, 3));  // self loop
+  EXPECT_EQ(o.num_relations(), 1u);
+}
+
+TEST(OntologyGraphTest, LabelsSorted) {
+  OntologyGraph o;
+  o.AddLabel(9);
+  o.AddLabel(2);
+  o.AddLabel(5);
+  EXPECT_EQ(o.Labels(), (std::vector<LabelId>{2, 5, 9}));
+}
+
+TEST(OntologyGraphTest, DistanceBasics) {
+  OntologyGraph o;
+  o.AddRelation(0, 1);
+  o.AddRelation(1, 2);
+  o.AddRelation(2, 3);
+  EXPECT_EQ(o.Distance(0, 0, 10), 0u);
+  EXPECT_EQ(o.Distance(0, 1, 10), 1u);
+  EXPECT_EQ(o.Distance(0, 3, 10), 3u);
+  EXPECT_EQ(o.Distance(3, 0, 10), 3u);  // symmetric
+}
+
+TEST(OntologyGraphTest, DistanceRespectsCap) {
+  OntologyGraph o;
+  o.AddRelation(0, 1);
+  o.AddRelation(1, 2);
+  EXPECT_EQ(o.Distance(0, 2, 1), kInfiniteDistance);
+  EXPECT_EQ(o.Distance(0, 2, 2), 2u);
+}
+
+TEST(OntologyGraphTest, DistanceIdenticalUnknownLabelIsZero) {
+  OntologyGraph o;
+  o.AddRelation(0, 1);
+  // Label 9 is not an ontology node but dist(l, l) == 0 by definition.
+  EXPECT_EQ(o.Distance(9, 9, 5), 0u);
+}
+
+TEST(OntologyGraphTest, DistanceToUnknownLabelInfinite) {
+  OntologyGraph o;
+  o.AddRelation(0, 1);
+  EXPECT_EQ(o.Distance(0, 9, 5), kInfiniteDistance);
+}
+
+TEST(OntologyGraphTest, DistanceAcrossComponentsInfinite) {
+  OntologyGraph o;
+  o.AddRelation(0, 1);
+  o.AddRelation(2, 3);
+  EXPECT_EQ(o.Distance(0, 3, 100), kInfiniteDistance);
+}
+
+TEST(OntologyGraphTest, DistancePicksShortestPath) {
+  OntologyGraph o;
+  o.AddRelation(0, 1);
+  o.AddRelation(1, 2);
+  o.AddRelation(0, 2);  // shortcut
+  EXPECT_EQ(o.Distance(0, 2, 10), 1u);
+}
+
+TEST(OntologyGraphTest, BallAroundRadiusZero) {
+  OntologyGraph o;
+  o.AddRelation(0, 1);
+  std::vector<LabelDistance> ball = o.BallAround(0, 0);
+  ASSERT_EQ(ball.size(), 1u);
+  EXPECT_EQ(ball[0], (LabelDistance{0, 0}));
+}
+
+TEST(OntologyGraphTest, BallAroundCollectsByDistance) {
+  OntologyGraph o;
+  o.AddRelation(0, 1);
+  o.AddRelation(1, 2);
+  o.AddRelation(2, 3);
+  std::vector<LabelDistance> ball = o.BallAround(0, 2);
+  ASSERT_EQ(ball.size(), 3u);
+  EXPECT_EQ(ball[0], (LabelDistance{0, 0}));
+  EXPECT_EQ(ball[1], (LabelDistance{1, 1}));
+  EXPECT_EQ(ball[2], (LabelDistance{2, 2}));
+}
+
+TEST(OntologyGraphTest, BallAroundUnknownSourceEmpty) {
+  OntologyGraph o;
+  o.AddRelation(0, 1);
+  EXPECT_TRUE(o.BallAround(42, 3).empty());
+}
+
+TEST(OntologyGraphTest, NeighborsOfUnknownLabelEmpty) {
+  OntologyGraph o;
+  EXPECT_TRUE(o.Neighbors(7).empty());
+}
+
+TEST(OntologyGraphTest, FileRoundTrip) {
+  test::TravelFixture f = test::MakeTravelFixture();
+  std::string path = testing::TempDir() + "/osq_ontology_test.graph";
+  ASSERT_TRUE(SaveOntology(f.o, f.dict, path).ok());
+  OntologyGraph o2;
+  ASSERT_TRUE(LoadOntologyFromFile(path, &f.dict, &o2).ok());
+  EXPECT_EQ(o2.num_labels(), f.o.num_labels());
+  EXPECT_EQ(o2.num_relations(), f.o.num_relations());
+  // Same distances on the shared dictionary.
+  LabelId museum = f.dict.Lookup("museum");
+  LabelId disney = f.dict.Lookup("disneyland");
+  EXPECT_EQ(o2.Distance(museum, disney, 10), f.o.Distance(museum, disney, 10));
+}
+
+TEST(OntologyGraphTest, TravelFixtureDistancesMatchPaper) {
+  test::TravelFixture f = test::MakeTravelFixture();
+  LabelId museum = f.dict.Lookup("museum");
+  LabelId rg = f.dict.Lookup("royal_gallery");
+  LabelId disney = f.dict.Lookup("disneyland");
+  EXPECT_EQ(f.o.Distance(museum, rg, 10), 1u);      // RG is a kind of museum
+  EXPECT_EQ(f.o.Distance(museum, disney, 10), 2u);  // sim == 0.81 in paper
+}
+
+}  // namespace
+}  // namespace osq

@@ -1,0 +1,100 @@
+#include "core/ontology_index.h"
+
+#include <gtest/gtest.h>
+#include "gen/synthetic.h"
+#include "test_util.h"
+
+namespace osq {
+namespace {
+
+TEST(OntologyIndexTest, BuildsRequestedNumberOfConceptGraphs) {
+  test::TravelFixture f = test::MakeTravelFixture();
+  IndexOptions options;
+  options.num_concept_graphs = 3;
+  OntologyIndex index = OntologyIndex::Build(f.g, f.o, options);
+  EXPECT_EQ(index.num_concept_graphs(), 3u);
+  EXPECT_TRUE(index.Validate());
+}
+
+TEST(OntologyIndexTest, StatsReported) {
+  test::TravelFixture f = test::MakeTravelFixture();
+  IndexOptions options;
+  options.num_concept_graphs = 2;
+  IndexBuildStats stats;
+  OntologyIndex index = OntologyIndex::Build(f.g, f.o, options, &stats);
+  EXPECT_EQ(stats.per_graph.size(), 2u);
+  EXPECT_GT(stats.total_blocks, 0u);
+  size_t sum = 0;
+  for (const auto& s : stats.per_graph) sum += s.final_blocks;
+  EXPECT_EQ(sum, stats.total_blocks);
+  EXPECT_EQ(index.TotalSize() >= stats.total_blocks, true);
+}
+
+TEST(OntologyIndexTest, SimilarityBaseRespected) {
+  test::TravelFixture f = test::MakeTravelFixture();
+  IndexOptions options;
+  options.similarity_base = 0.8;
+  OntologyIndex index = OntologyIndex::Build(f.g, f.o, options);
+  EXPECT_DOUBLE_EQ(index.sim().base(), 0.8);
+}
+
+TEST(OntologyIndexTest, EachBlockCoversItsMembers) {
+  test::TravelFixture f = test::MakeTravelFixture();
+  IndexOptions options;
+  options.beta = 0.81;
+  options.num_concept_graphs = 2;
+  OntologyIndex index = OntologyIndex::Build(f.g, f.o, options);
+  for (size_t i = 0; i < index.num_concept_graphs(); ++i) {
+    const ConceptGraph& cg = index.concept_graph(i);
+    for (NodeId v = 0; v < f.g.num_nodes(); ++v) {
+      EXPECT_TRUE(index.sim().AtLeast(f.o, f.g.NodeLabel(v),
+                                      cg.BlockLabel(cg.BlockOf(v)), 0.81));
+    }
+  }
+}
+
+TEST(OntologyIndexTest, DistinctSeedsProduceDistinctIndexes) {
+  test::TravelFixture f = test::MakeTravelFixture();
+  IndexOptions a;
+  a.seed = 1;
+  IndexOptions b;
+  b.seed = 99;
+  OntologyIndex ia = OntologyIndex::Build(f.g, f.o, a);
+  OntologyIndex ib = OntologyIndex::Build(f.g, f.o, b);
+  // Both valid regardless of the concept label sets drawn.
+  EXPECT_TRUE(ia.Validate());
+  EXPECT_TRUE(ib.Validate());
+}
+
+TEST(OntologyIndexTest, MoveKeepsPointersValid) {
+  test::TravelFixture f = test::MakeTravelFixture();
+  OntologyIndex index = OntologyIndex::Build(f.g, f.o, IndexOptions{});
+  OntologyIndex moved = std::move(index);
+  EXPECT_TRUE(moved.Validate());
+  EXPECT_EQ(&moved.data_graph(), &f.g);
+}
+
+TEST(OntologyIndexTest, SyntheticGraphIndexValidates) {
+  LabelDictionary dict;
+  gen::SyntheticGraphParams gp;
+  gp.num_nodes = 300;
+  gp.num_edges = 900;
+  gp.num_labels = 40;
+  Graph g = gen::MakeRandomGraph(gp, &dict);
+  gen::SyntheticOntologyParams op;
+  op.num_labels = 40;
+  OntologyGraph o = gen::MakeTaxonomyOntology(op, &dict);
+  IndexOptions options;
+  options.num_concept_graphs = 2;
+  IndexBuildStats stats;
+  OntologyIndex index = OntologyIndex::Build(g, o, options, &stats);
+  EXPECT_TRUE(index.Validate());
+  // Refinement can only refine: block count between #concepts and #nodes.
+  for (const auto& s : stats.per_graph) {
+    EXPECT_GE(s.final_blocks, s.initial_blocks);
+    EXPECT_LE(s.final_blocks, g.num_nodes());
+  }
+}
+
+}  // namespace
+}  // namespace osq

@@ -1,0 +1,127 @@
+#include "ontology/ontology_partition.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+#include "test_util.h"
+
+namespace osq {
+namespace {
+
+OntologyGraph ChainOntology(size_t n) {
+  OntologyGraph o;
+  for (LabelId l = 0; l + 1 < n; ++l) {
+    o.AddRelation(l, l + 1);
+  }
+  return o;
+}
+
+TEST(PartitionTest, EveryLabelAssigned) {
+  OntologyGraph o = ChainOntology(20);
+  Rng rng(1);
+  std::vector<uint32_t> cluster = PartitionOntology(o, 4, &rng);
+  for (LabelId l : o.Labels()) {
+    EXPECT_NE(cluster[l], kInvalidCluster);
+  }
+}
+
+TEST(PartitionTest, ClusterCountBounded) {
+  OntologyGraph o = ChainOntology(20);
+  Rng rng(2);
+  std::vector<uint32_t> cluster = PartitionOntology(o, 4, &rng);
+  std::set<uint32_t> distinct;
+  for (LabelId l : o.Labels()) distinct.insert(cluster[l]);
+  EXPECT_LE(distinct.size(), 4u);
+  EXPECT_GE(distinct.size(), 1u);
+}
+
+TEST(PartitionTest, MoreClustersThanLabelsClamped) {
+  OntologyGraph o = ChainOntology(3);
+  Rng rng(3);
+  std::vector<uint32_t> cluster = PartitionOntology(o, 100, &rng);
+  for (LabelId l : o.Labels()) {
+    EXPECT_NE(cluster[l], kInvalidCluster);
+  }
+}
+
+TEST(PartitionTest, DisconnectedComponentsAllCovered) {
+  OntologyGraph o;
+  o.AddRelation(0, 1);
+  o.AddRelation(10, 11);
+  o.AddLabel(20);  // isolated
+  Rng rng(4);
+  std::vector<uint32_t> cluster = PartitionOntology(o, 2, &rng);
+  for (LabelId l : o.Labels()) {
+    EXPECT_NE(cluster[l], kInvalidCluster);
+  }
+}
+
+TEST(PartitionTest, EmptyOntology) {
+  OntologyGraph o;
+  Rng rng(5);
+  EXPECT_TRUE(PartitionOntology(o, 3, &rng).empty());
+}
+
+TEST(SelectConceptLabelsTest, CoverPropertyHolds) {
+  OntologyGraph o = ChainOntology(30);
+  SimilarityFunction sim(0.9);
+  Rng rng(6);
+  for (double beta : {0.9, 0.81, 0.729}) {
+    std::vector<LabelId> concepts =
+        SelectConceptLabels(o, sim, beta, 4, &rng);
+    EXPECT_TRUE(CoversAllLabels(o, sim, beta, concepts)) << beta;
+  }
+}
+
+TEST(SelectConceptLabelsTest, HigherBetaNeedsMoreConcepts) {
+  OntologyGraph o = ChainOntology(60);
+  SimilarityFunction sim(0.9);
+  Rng rng(7);
+  std::vector<LabelId> tight = SelectConceptLabels(o, sim, 0.95, 1, &rng);
+  std::vector<LabelId> loose = SelectConceptLabels(o, sim, 0.6, 1, &rng);
+  // Radius 0 forces one concept per label; radius 5 covers 11 per concept.
+  EXPECT_EQ(tight.size(), 60u);
+  EXPECT_LT(loose.size(), tight.size());
+}
+
+TEST(SelectConceptLabelsTest, DistinctSeedsGiveDistinctSets) {
+  OntologyGraph o = ChainOntology(60);
+  SimilarityFunction sim(0.9);
+  Rng rng(8);
+  std::vector<LabelId> a = SelectConceptLabels(o, sim, 0.81, 4, &rng);
+  std::vector<LabelId> b = SelectConceptLabels(o, sim, 0.81, 4, &rng);
+  // Not guaranteed in general, but with 60 labels and radius 2 the greedy
+  // order virtually always differs; both must still cover.
+  EXPECT_TRUE(CoversAllLabels(o, sim, 0.81, a));
+  EXPECT_TRUE(CoversAllLabels(o, sim, 0.81, b));
+  EXPECT_NE(a, b);
+}
+
+TEST(SelectConceptLabelsTest, ConceptsAreSortedUnique) {
+  OntologyGraph o = ChainOntology(25);
+  SimilarityFunction sim(0.9);
+  Rng rng(9);
+  std::vector<LabelId> c = SelectConceptLabels(o, sim, 0.81, 3, &rng);
+  EXPECT_TRUE(std::is_sorted(c.begin(), c.end()));
+  EXPECT_EQ(std::adjacent_find(c.begin(), c.end()), c.end());
+}
+
+TEST(SelectConceptLabelsTest, CoversTravelOntology) {
+  test::TravelFixture f = test::MakeTravelFixture();
+  SimilarityFunction sim(0.9);
+  Rng rng(10);
+  std::vector<LabelId> c = SelectConceptLabels(f.o, sim, 0.81, 3, &rng);
+  EXPECT_TRUE(CoversAllLabels(f.o, sim, 0.81, c));
+}
+
+TEST(SelectConceptLabelsTest, CoversAllLabelsDetectsGaps) {
+  OntologyGraph o = ChainOntology(10);
+  SimilarityFunction sim(0.9);
+  // A single concept at one end cannot cover a 10-chain at radius 2.
+  EXPECT_FALSE(CoversAllLabels(o, sim, 0.81, {0}));
+  EXPECT_TRUE(CoversAllLabels(o, sim, 0.81, {2, 7}));
+}
+
+}  // namespace
+}  // namespace osq

@@ -1,0 +1,229 @@
+#include "query/pattern_parser.h"
+
+#include <fstream>
+
+#include <gtest/gtest.h>
+#include "graph/query_graph.h"
+
+namespace osq {
+namespace {
+
+TEST(PatternParserTest, SingleNode) {
+  LabelDictionary dict;
+  ParsedPattern p;
+  ASSERT_TRUE(ParsePattern("(a:museum)", &dict, &p).ok());
+  EXPECT_EQ(p.query.num_nodes(), 1u);
+  EXPECT_EQ(p.query.num_edges(), 0u);
+  EXPECT_EQ(p.query.NodeLabel(p.node_ids.at("a")), dict.Lookup("museum"));
+}
+
+TEST(PatternParserTest, SimpleEdge) {
+  LabelDictionary dict;
+  ParsedPattern p;
+  ASSERT_TRUE(
+      ParsePattern("(t:tourists)-[guide]->(m:museum)", &dict, &p).ok());
+  EXPECT_EQ(p.query.num_nodes(), 2u);
+  EXPECT_TRUE(p.query.HasEdge(p.node_ids.at("t"), p.node_ids.at("m"),
+                              dict.Lookup("guide")));
+}
+
+TEST(PatternParserTest, ReverseEdge) {
+  LabelDictionary dict;
+  ParsedPattern p;
+  ASSERT_TRUE(ParsePattern("(m:museum)<-[guide]-(t:tourists)", &dict, &p).ok());
+  EXPECT_TRUE(p.query.HasEdge(p.node_ids.at("t"), p.node_ids.at("m"),
+                              dict.Lookup("guide")));
+}
+
+TEST(PatternParserTest, TravelQueryTriangle) {
+  LabelDictionary dict;
+  ParsedPattern p;
+  ASSERT_TRUE(ParsePattern("(t:tourists)-[guide]->(m:museum), "
+                           "(t)-[fav]->(r:moonlight), (r)-[near]->(m)",
+                           &dict, &p)
+                  .ok());
+  EXPECT_EQ(p.query.num_nodes(), 3u);
+  EXPECT_EQ(p.query.num_edges(), 3u);
+  EXPECT_TRUE(ValidateQuery(p.query).ok());
+}
+
+TEST(PatternParserTest, ChainWithoutCommas) {
+  LabelDictionary dict;
+  ParsedPattern p;
+  ASSERT_TRUE(
+      ParsePattern("(a:x)-[r]->(b:y)-[s]->(c:z)", &dict, &p).ok());
+  EXPECT_EQ(p.query.num_nodes(), 3u);
+  EXPECT_EQ(p.query.num_edges(), 2u);
+  EXPECT_TRUE(p.query.HasEdge(p.node_ids.at("b"), p.node_ids.at("c"),
+                              dict.Lookup("s")));
+}
+
+TEST(PatternParserTest, DefaultEdgeLabel) {
+  LabelDictionary dict;
+  ParsedPattern p;
+  ASSERT_TRUE(ParsePattern("(a:x)-[]->(b:y)", &dict, &p, "rel").ok());
+  EXPECT_TRUE(
+      p.query.HasEdge(p.node_ids.at("a"), p.node_ids.at("b"),
+                      dict.Lookup("rel")));
+}
+
+TEST(PatternParserTest, CommentsAndWhitespace) {
+  LabelDictionary dict;
+  ParsedPattern p;
+  ASSERT_TRUE(ParsePattern("  # a comment\n (a:x) -[r]-> (b:y) # tail\n",
+                           &dict, &p)
+                  .ok());
+  EXPECT_EQ(p.query.num_edges(), 1u);
+}
+
+TEST(PatternParserTest, NodeReusePreservesIdentity) {
+  LabelDictionary dict;
+  ParsedPattern p;
+  ASSERT_TRUE(
+      ParsePattern("(a:x)-[r]->(b:y), (b)-[s]->(a)", &dict, &p).ok());
+  EXPECT_EQ(p.query.num_nodes(), 2u);
+  EXPECT_EQ(p.query.num_edges(), 2u);
+}
+
+TEST(PatternParserTest, RedeclarationWithSameLabelOk) {
+  LabelDictionary dict;
+  ParsedPattern p;
+  ASSERT_TRUE(
+      ParsePattern("(a:x)-[r]->(b:y), (a:x)-[s]->(b)", &dict, &p).ok());
+  EXPECT_EQ(p.query.num_nodes(), 2u);
+}
+
+TEST(PatternParserTest, SelfLoop) {
+  LabelDictionary dict;
+  ParsedPattern p;
+  ASSERT_TRUE(ParsePattern("(a:x)-[r]->(a)", &dict, &p).ok());
+  EXPECT_TRUE(p.query.HasEdge(0, 0, dict.Lookup("r")));
+}
+
+TEST(PatternParserTest, ErrorMissingLabelOnFirstUse) {
+  LabelDictionary dict;
+  ParsedPattern p;
+  Status s = ParsePattern("(a)-[r]->(b:y)", &dict, &p);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(PatternParserTest, ErrorConflictingRedeclaration) {
+  LabelDictionary dict;
+  ParsedPattern p;
+  Status s = ParsePattern("(a:x)-[r]->(a:y)", &dict, &p);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(PatternParserTest, ErrorMalformedArrow) {
+  LabelDictionary dict;
+  ParsedPattern p;
+  EXPECT_FALSE(ParsePattern("(a:x)-[r]-(b:y)", &dict, &p).ok());
+  EXPECT_FALSE(ParsePattern("(a:x)->[r]->(b:y)", &dict, &p).ok());
+}
+
+TEST(PatternParserTest, ErrorDanglingComma) {
+  LabelDictionary dict;
+  ParsedPattern p;
+  EXPECT_FALSE(ParsePattern("(a:x),", &dict, &p).ok());
+}
+
+TEST(PatternParserTest, ErrorEmptyPattern) {
+  LabelDictionary dict;
+  ParsedPattern p;
+  EXPECT_FALSE(ParsePattern("", &dict, &p).ok());
+  EXPECT_FALSE(ParsePattern("  # only a comment", &dict, &p).ok());
+}
+
+TEST(PatternParserTest, ErrorGarbageSuffix) {
+  LabelDictionary dict;
+  ParsedPattern p;
+  Status s = ParsePattern("(a:x) junk", &dict, &p);
+  EXPECT_FALSE(s.ok());
+  // Offset is reported in the message.
+  EXPECT_NE(s.message().find("offset"), std::string::npos);
+}
+
+TEST(PatternParserTest, OutputUntouchedOnError) {
+  LabelDictionary dict;
+  ParsedPattern p;
+  ASSERT_TRUE(ParsePattern("(a:x)", &dict, &p).ok());
+  EXPECT_FALSE(ParsePattern("(((", &dict, &p).ok());
+  EXPECT_EQ(p.query.num_nodes(), 1u);  // still the previous parse
+}
+
+TEST(PatternParserTest, FormatRoundTrip) {
+  LabelDictionary dict;
+  ParsedPattern p;
+  ASSERT_TRUE(ParsePattern("(t:tourists)-[guide]->(m:museum), "
+                           "(t)-[fav]->(r:moonlight), (r)-[near]->(m)",
+                           &dict, &p)
+                  .ok());
+  std::string text = FormatPattern(p.query, dict);
+  ParsedPattern p2;
+  ASSERT_TRUE(ParsePattern(text, &dict, &p2).ok()) << text;
+  EXPECT_EQ(p2.query.num_nodes(), p.query.num_nodes());
+  EXPECT_EQ(p2.query.num_edges(), p.query.num_edges());
+}
+
+TEST(PatternParserTest, FormatIsolatedNode) {
+  LabelDictionary dict;
+  Graph q;
+  q.AddNode(dict.Intern("solo"));
+  EXPECT_EQ(FormatPattern(q, dict), "(n0:solo)");
+}
+
+
+TEST(PatternParserTest, FormatRoundTripWithParallelEdges) {
+  LabelDictionary dict;
+  Graph q;
+  q.AddNode(dict.Intern("a"));
+  q.AddNode(dict.Intern("b"));
+  q.AddEdge(0, 1, dict.Intern("r"));
+  q.AddEdge(0, 1, dict.Intern("s"));
+  std::string text = FormatPattern(q, dict);
+  ParsedPattern p2;
+  ASSERT_TRUE(ParsePattern(text, &dict, &p2).ok()) << text;
+  EXPECT_EQ(p2.query.num_edges(), 2u);
+}
+
+
+TEST(PatternFileTest, LoadsMultiplePatterns) {
+  std::string path = testing::TempDir() + "/osq_patterns_test.txt";
+  {
+    std::ofstream out(path);
+    out << "# workload\n"
+        << "(a:x)-[r]->(b:y)\n"
+        << "\n"
+        << "(a:x)-[r]->(b:y)-[s]->(c:z)\n";
+  }
+  LabelDictionary dict;
+  std::vector<ParsedPattern> patterns;
+  ASSERT_TRUE(LoadPatternsFromFile(path, &dict, &patterns).ok());
+  ASSERT_EQ(patterns.size(), 2u);
+  EXPECT_EQ(patterns[0].query.num_nodes(), 2u);
+  EXPECT_EQ(patterns[1].query.num_nodes(), 3u);
+}
+
+TEST(PatternFileTest, ReportsLineNumberOnError) {
+  std::string path = testing::TempDir() + "/osq_patterns_bad.txt";
+  {
+    std::ofstream out(path);
+    out << "(a:x)\n(broken\n";
+  }
+  LabelDictionary dict;
+  std::vector<ParsedPattern> patterns;
+  Status s = LoadPatternsFromFile(path, &dict, &patterns);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("line 2"), std::string::npos);
+  EXPECT_TRUE(patterns.empty());
+}
+
+TEST(PatternFileTest, MissingFileIsIoError) {
+  LabelDictionary dict;
+  std::vector<ParsedPattern> patterns;
+  EXPECT_EQ(LoadPatternsFromFile("/no/such/file", &dict, &patterns).code(),
+            StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace osq

@@ -1,0 +1,171 @@
+#include "core/query_engine.h"
+
+#include <utility>
+
+#include <gtest/gtest.h>
+#include "test_util.h"
+
+namespace osq {
+namespace {
+
+QueryEngine MakeTravelEngine(test::TravelFixture* f,
+                             IndexOptions options = IndexOptions{}) {
+  return QueryEngine(std::move(f->g), std::move(f->o), options);
+}
+
+TEST(QueryEngineTest, EndToEndTravelExample) {
+  test::TravelFixture f = test::MakeTravelFixture();
+  QueryEngine engine = MakeTravelEngine(&f);
+  QueryOptions options;
+  options.theta = 0.9;
+  options.k = 5;
+  QueryResult r = engine.Query(f.query, options);
+  ASSERT_TRUE(r.status.ok());
+  ASSERT_EQ(r.matches.size(), 1u);
+  EXPECT_DOUBLE_EQ(r.matches[0].score, 2.7);
+  EXPECT_EQ(r.matches[0].mapping[f.q_museum], f.rg);
+  EXPECT_GE(r.filter_ms, 0.0);
+  EXPECT_GE(r.verify_ms, 0.0);
+  EXPECT_GT(r.filter_stats.gv_nodes, 0u);
+}
+
+TEST(QueryEngineTest, RejectsEmptyQuery) {
+  test::TravelFixture f = test::MakeTravelFixture();
+  QueryEngine engine = MakeTravelEngine(&f);
+  QueryResult r = engine.Query(Graph(), QueryOptions{});
+  EXPECT_FALSE(r.status.ok());
+  EXPECT_TRUE(r.matches.empty());
+}
+
+TEST(QueryEngineTest, RejectsDisconnectedQuery) {
+  test::TravelFixture f = test::MakeTravelFixture();
+  QueryEngine engine = MakeTravelEngine(&f);
+  Graph q;
+  q.AddNodes(2, f.dict.Lookup("museum"));
+  QueryResult r = engine.Query(q, QueryOptions{});
+  EXPECT_FALSE(r.status.ok());
+}
+
+TEST(QueryEngineTest, BuildStatsPopulated) {
+  test::TravelFixture f = test::MakeTravelFixture();
+  IndexOptions options;
+  options.num_concept_graphs = 2;
+  QueryEngine engine = MakeTravelEngine(&f, options);
+  EXPECT_EQ(engine.build_stats().per_graph.size(), 2u);
+  EXPECT_GE(engine.index_build_ms(), 0.0);
+  EXPECT_EQ(engine.index().num_concept_graphs(), 2u);
+}
+
+TEST(QueryEngineTest, EngineIsMovable) {
+  test::TravelFixture f = test::MakeTravelFixture();
+  QueryEngine engine = MakeTravelEngine(&f);
+  QueryEngine moved = std::move(engine);
+  QueryOptions options;
+  options.theta = 0.9;
+  QueryResult r = moved.Query(f.query, options);
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_EQ(r.matches.size(), 1u);
+}
+
+TEST(QueryEngineTest, DynamicUpdateChangesResults) {
+  test::TravelFixture f = test::MakeTravelFixture();
+  NodeId hp = f.hp;
+  NodeId rg = f.rg;
+  NodeId ct = f.ct;
+  LabelId fav = f.fav;
+  LabelId near = f.near;
+  Graph query = f.query;  // keep a copy before moving the fixture graphs
+  QueryEngine engine = MakeTravelEngine(&f);
+
+  QueryOptions options;
+  options.theta = 0.9;
+  options.k = 10;
+  ASSERT_EQ(engine.Query(query, options).matches.size(), 1u);
+
+  // New intelligence: CT also favors Holiday Plaza, which is near RG.
+  ASSERT_TRUE(engine.ApplyUpdate(GraphUpdate::Insert(ct, hp, fav)));
+  ASSERT_TRUE(engine.ApplyUpdate(GraphUpdate::Insert(hp, rg, near)));
+  QueryResult r = engine.Query(query, options);
+  ASSERT_EQ(r.matches.size(), 2u);
+  EXPECT_TRUE(engine.index().Validate());
+
+  // Retract one edge: back to a single match.
+  ASSERT_TRUE(engine.ApplyUpdate(GraphUpdate::Delete(hp, rg, near)));
+  EXPECT_EQ(engine.Query(query, options).matches.size(), 1u);
+  EXPECT_TRUE(engine.index().Validate());
+}
+
+TEST(QueryEngineTest, AddNodeThenConnect) {
+  test::TravelFixture f = test::MakeTravelFixture();
+  NodeId ct = f.ct;
+  NodeId rg = f.rg;
+  LabelId fav = f.fav;
+  LabelId near = f.near;
+  LabelId starlight_label = f.dict.Lookup("starlight");
+  Graph query = f.query;
+  QueryEngine engine = MakeTravelEngine(&f);
+
+  QueryOptions options;
+  options.theta = 0.9;
+  options.k = 10;
+
+  // A second starlight-branded restaurant opens near RG and CT favors it.
+  NodeId v = engine.AddNode(starlight_label);
+  ASSERT_TRUE(engine.ApplyUpdate(GraphUpdate::Insert(ct, v, fav)));
+  ASSERT_TRUE(engine.ApplyUpdate(GraphUpdate::Insert(v, rg, near)));
+  QueryResult r = engine.Query(query, options);
+  EXPECT_EQ(r.matches.size(), 2u);
+  EXPECT_TRUE(engine.index().Validate());
+}
+
+TEST(QueryEngineTest, ThetaSweepMonotoneMatchCounts) {
+  test::TravelFixture f = test::MakeTravelFixture();
+  Graph query = f.query;
+  QueryEngine engine = MakeTravelEngine(&f);
+  size_t prev = 0;
+  for (double theta : {1.0, 0.9, 0.81, 0.7}) {
+    QueryOptions options;
+    options.theta = theta;
+    options.k = 0;
+    size_t n = engine.Query(query, options).matches.size();
+    EXPECT_GE(n, prev) << theta;
+    prev = n;
+  }
+}
+
+
+TEST(QueryEngineTest, QueryPatternConvenience) {
+  test::TravelFixture f = test::MakeTravelFixture();
+  LabelDictionary dict = f.dict;  // engine does not own the dictionary
+  QueryEngine engine = MakeTravelEngine(&f);
+  QueryOptions options;
+  options.theta = 0.9;
+  QueryResult r = engine.QueryPattern(
+      "(t:tourists)-[guide]->(m:museum), (t)-[fav]->(r:moonlight), "
+      "(r)-[near]->(m)",
+      &dict, options);
+  ASSERT_TRUE(r.status.ok());
+  ASSERT_EQ(r.matches.size(), 1u);
+  EXPECT_DOUBLE_EQ(r.matches[0].score, 2.7);
+}
+
+TEST(QueryEngineTest, QueryPatternParseErrorSurfaces) {
+  test::TravelFixture f = test::MakeTravelFixture();
+  LabelDictionary dict = f.dict;
+  QueryEngine engine = MakeTravelEngine(&f);
+  QueryResult r = engine.QueryPattern("(((broken", &dict, QueryOptions{});
+  EXPECT_FALSE(r.status.ok());
+  EXPECT_TRUE(r.matches.empty());
+}
+
+TEST(QueryEngineTest, QueryPatternDisconnectedRejected) {
+  test::TravelFixture f = test::MakeTravelFixture();
+  LabelDictionary dict = f.dict;
+  QueryEngine engine = MakeTravelEngine(&f);
+  QueryResult r = engine.QueryPattern("(a:museum), (b:tourists)", &dict,
+                                      QueryOptions{});
+  EXPECT_FALSE(r.status.ok());
+}
+
+}  // namespace
+}  // namespace osq

@@ -1,0 +1,88 @@
+#include "graph/query_graph.h"
+
+#include <gtest/gtest.h>
+
+namespace osq {
+namespace {
+
+TEST(StringGraphBuilderTest, AddNodeInternsLabel) {
+  LabelDictionary dict;
+  StringGraphBuilder b(&dict);
+  NodeId v = b.AddNode("n1", "museum");
+  EXPECT_EQ(b.graph().NodeLabel(v), dict.Lookup("museum"));
+}
+
+TEST(StringGraphBuilderTest, AddNodeIdempotentByName) {
+  LabelDictionary dict;
+  StringGraphBuilder b(&dict);
+  NodeId v1 = b.AddNode("n1", "a");
+  NodeId v2 = b.AddNode("n1", "b");  // label change ignored
+  EXPECT_EQ(v1, v2);
+  EXPECT_EQ(b.graph().num_nodes(), 1u);
+  EXPECT_EQ(b.graph().NodeLabel(v1), dict.Lookup("a"));
+}
+
+TEST(StringGraphBuilderTest, NodeLabelDefaultsToName) {
+  LabelDictionary dict;
+  StringGraphBuilder b(&dict);
+  NodeId v = b.AddNode("museum");
+  EXPECT_EQ(b.graph().NodeLabel(v), dict.Lookup("museum"));
+}
+
+TEST(StringGraphBuilderTest, AddEdgeCreatesEndpoints) {
+  LabelDictionary dict;
+  StringGraphBuilder b(&dict);
+  EXPECT_TRUE(b.AddEdge("a", "b", "rel"));
+  EXPECT_EQ(b.graph().num_nodes(), 2u);
+  EXPECT_TRUE(b.graph().HasEdge(b.NodeIdOf("a"), b.NodeIdOf("b"),
+                                dict.Lookup("rel")));
+}
+
+TEST(StringGraphBuilderTest, DuplicateEdgeRejected) {
+  LabelDictionary dict;
+  StringGraphBuilder b(&dict);
+  EXPECT_TRUE(b.AddEdge("a", "b", "rel"));
+  EXPECT_FALSE(b.AddEdge("a", "b", "rel"));
+}
+
+TEST(StringGraphBuilderTest, NodeIdOfMissing) {
+  LabelDictionary dict;
+  StringGraphBuilder b(&dict);
+  EXPECT_EQ(b.NodeIdOf("ghost"), kInvalidNode);
+}
+
+TEST(StringGraphBuilderTest, TakeGraphMovesOut) {
+  LabelDictionary dict;
+  StringGraphBuilder b(&dict);
+  b.AddEdge("a", "b");
+  Graph g = b.TakeGraph();
+  EXPECT_EQ(g.num_nodes(), 2u);
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(ValidateQueryTest, RejectsEmpty) {
+  EXPECT_EQ(ValidateQuery(Graph()).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ValidateQueryTest, RejectsDisconnected) {
+  Graph q;
+  q.AddNodes(2, 0);  // no edges between them
+  EXPECT_EQ(ValidateQuery(q).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ValidateQueryTest, AcceptsSingleNode) {
+  Graph q;
+  q.AddNode(0);
+  EXPECT_TRUE(ValidateQuery(q).ok());
+}
+
+TEST(ValidateQueryTest, AcceptsConnected) {
+  Graph q;
+  q.AddNodes(3, 0);
+  q.AddEdge(0, 1, 0);
+  q.AddEdge(2, 1, 0);  // connected only weakly
+  EXPECT_TRUE(ValidateQuery(q).ok());
+}
+
+}  // namespace
+}  // namespace osq

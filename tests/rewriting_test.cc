@@ -1,0 +1,104 @@
+#include "baseline/rewriting.h"
+
+#include <gtest/gtest.h>
+#include "test_util.h"
+
+namespace osq {
+namespace {
+
+TEST(RewritingTest, FindsTravelExampleMatches) {
+  test::TravelFixture f = test::MakeTravelFixture();
+  SimilarityFunction sim(0.9);
+  QueryOptions options;
+  options.theta = 0.81;
+  options.k = 10;
+  RewriteStats stats;
+  std::vector<Match> matches =
+      SubIsoRewrite(f.query, f.g, f.o, sim, options, 0, &stats);
+  ASSERT_EQ(matches.size(), 2u);
+  EXPECT_DOUBLE_EQ(matches[0].score, 2.7);
+  EXPECT_EQ(matches[0].mapping[f.q_museum], f.rg);
+  EXPECT_NEAR(matches[1].score, 2.61, 1e-12);
+  EXPECT_GT(stats.rewritings, 1u);
+}
+
+TEST(RewritingTest, CombinationCountIsProductOfChoices) {
+  test::TravelFixture f = test::MakeTravelFixture();
+  SimilarityFunction sim(0.9);
+  QueryOptions options;
+  options.theta = 0.9;  // radius 1
+  options.k = 0;
+  RewriteStats stats;
+  SubIsoRewrite(f.query, f.g, f.o, sim, options, 0, &stats);
+  // Candidate labels present in G within 1 hop:
+  //   tourists: {culture_tours, holiday_tours}            -> 2
+  //   museum:   {royal_gallery}                           -> 1
+  //   moonlight:{starlight, holiday_cafe, holiday_plaza}  -> 3
+  EXPECT_EQ(stats.combinations, 6u);
+  EXPECT_EQ(stats.rewritings, 6u);
+  EXPECT_FALSE(stats.truncated);
+}
+
+TEST(RewritingTest, ThetaOneOnlyOriginalLabels) {
+  test::TravelFixture f = test::MakeTravelFixture();
+  SimilarityFunction sim(0.9);
+  QueryOptions options;
+  options.theta = 1.0;
+  RewriteStats stats;
+  std::vector<Match> matches =
+      SubIsoRewrite(f.query, f.g, f.o, sim, options, 0, &stats);
+  // Query labels do not occur in G at all -> no candidate labels.
+  EXPECT_TRUE(matches.empty());
+  EXPECT_EQ(stats.rewritings, 0u);
+}
+
+TEST(RewritingTest, MaxRewritingsTruncates) {
+  test::TravelFixture f = test::MakeTravelFixture();
+  SimilarityFunction sim(0.9);
+  QueryOptions options;
+  options.theta = 0.81;
+  RewriteStats stats;
+  SubIsoRewrite(f.query, f.g, f.o, sim, options, /*max_rewritings=*/2,
+                &stats);
+  EXPECT_TRUE(stats.truncated);
+  EXPECT_EQ(stats.rewritings, 2u);
+}
+
+TEST(RewritingTest, TruncationKeepsBestFirstOrdering) {
+  // Choices are sorted best-similarity-first, so even a truncated run must
+  // have evaluated the all-original-labels rewriting first.
+  test::TravelFixture f = test::MakeTravelFixture();
+  SimilarityFunction sim(0.9);
+  QueryOptions options;
+  options.theta = 0.81;
+  options.k = 1;
+  RewriteStats stats;
+  std::vector<Match> best =
+      SubIsoRewrite(f.query, f.g, f.o, sim, options, 1, &stats);
+  // The single evaluated rewriting is the most similar label combination;
+  // for this query it is exactly the combination realizing score 2.7.
+  ASSERT_EQ(best.size(), 1u);
+  EXPECT_DOUBLE_EQ(best[0].score, 2.7);
+}
+
+TEST(RewritingTest, KCapsResults) {
+  test::TravelFixture f = test::MakeTravelFixture();
+  SimilarityFunction sim(0.9);
+  QueryOptions options;
+  options.theta = 0.81;
+  options.k = 1;
+  std::vector<Match> matches =
+      SubIsoRewrite(f.query, f.g, f.o, sim, options);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_DOUBLE_EQ(matches[0].score, 2.7);
+}
+
+TEST(RewritingTest, EmptyQuery) {
+  test::TravelFixture f = test::MakeTravelFixture();
+  SimilarityFunction sim(0.9);
+  EXPECT_TRUE(
+      SubIsoRewrite(Graph(), f.g, f.o, sim, QueryOptions{}).empty());
+}
+
+}  // namespace
+}  // namespace osq

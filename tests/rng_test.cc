@@ -1,0 +1,124 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <gtest/gtest.h>
+
+namespace osq {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Uniform(0, 1000), b.Uniform(0, 1000));
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 32 && !any_diff; ++i) {
+    any_diff = a.Uniform(0, 1u << 30) != b.Uniform(0, 1u << 30);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RngTest, UniformRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t x = rng.Uniform(5, 9);
+    EXPECT_GE(x, 5u);
+    EXPECT_LE(x, 9u);
+  }
+}
+
+TEST(RngTest, UniformDegenerateRange) {
+  Rng rng(7);
+  EXPECT_EQ(rng.Uniform(42, 42), 42u);
+}
+
+TEST(RngTest, IndexRespectsBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Index(13), 13u);
+  }
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.Double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(13);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliRoughlyFair) {
+  Rng rng(17);
+  int heads = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.Bernoulli(0.5)) ++heads;
+  }
+  EXPECT_GT(heads, 4500);
+  EXPECT_LT(heads, 5500);
+}
+
+TEST(RngTest, ZipfUniformWhenSkewZero) {
+  Rng rng(19);
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < 8000; ++i) {
+    ++counts[rng.Zipf(4, 0.0)];
+  }
+  for (int c : counts) {
+    EXPECT_GT(c, 1500);
+  }
+}
+
+TEST(RngTest, ZipfSkewsTowardsLowIndices) {
+  Rng rng(23);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 10000; ++i) {
+    ++counts[rng.Zipf(10, 1.2)];
+  }
+  EXPECT_GT(counts[0], counts[9] * 3);
+}
+
+TEST(RngTest, ZipfHandlesCacheInvalidation) {
+  Rng rng(29);
+  // Alternate (n, s) so the cached CDF is rebuilt; all results in range.
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_LT(rng.Zipf(5, 1.0), 5u);
+    EXPECT_LT(rng.Zipf(17, 0.5), 17u);
+  }
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(31);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> original = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(RngTest, ShuffleEmptyAndSingleton) {
+  Rng rng(37);
+  std::vector<int> empty;
+  rng.Shuffle(&empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one = {42};
+  rng.Shuffle(&one);
+  EXPECT_EQ(one, std::vector<int>{42});
+}
+
+}  // namespace
+}  // namespace osq

@@ -1,0 +1,184 @@
+#include "ontology/similarity.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+#include "test_util.h"
+
+namespace osq {
+namespace {
+
+TEST(SimilarityTest, SimAtDistanceMatchesPowers) {
+  SimilarityFunction sim(0.9);
+  EXPECT_DOUBLE_EQ(sim.SimAtDistance(0), 1.0);
+  EXPECT_DOUBLE_EQ(sim.SimAtDistance(1), 0.9);
+  EXPECT_DOUBLE_EQ(sim.SimAtDistance(2), 0.81);
+  EXPECT_NEAR(sim.SimAtDistance(3), 0.729, 1e-12);
+}
+
+TEST(SimilarityTest, SimOfUnreachableIsZero) {
+  SimilarityFunction sim(0.9);
+  EXPECT_DOUBLE_EQ(sim.SimAtDistance(kInfiniteDistance), 0.0);
+}
+
+TEST(SimilarityTest, SimBeyondTableStillComputed) {
+  SimilarityFunction sim(0.9);
+  EXPECT_NEAR(sim.SimAtDistance(SimilarityFunction::kMaxRadius + 3),
+              std::pow(0.9, SimilarityFunction::kMaxRadius + 3.0), 1e-15);
+}
+
+TEST(SimilarityTest, MonotonicallyDecreasing) {
+  SimilarityFunction sim(0.9);
+  for (uint32_t d = 0; d < 20; ++d) {
+    EXPECT_GT(sim.SimAtDistance(d), sim.SimAtDistance(d + 1));
+  }
+}
+
+TEST(SimilarityTest, RadiusInvertsSim) {
+  SimilarityFunction sim(0.9);
+  EXPECT_EQ(sim.Radius(1.0), 0u);
+  EXPECT_EQ(sim.Radius(0.95), 0u);
+  EXPECT_EQ(sim.Radius(0.9), 1u);    // exactly one hop
+  EXPECT_EQ(sim.Radius(0.85), 1u);
+  EXPECT_EQ(sim.Radius(0.81), 2u);   // exactly two hops
+  EXPECT_EQ(sim.Radius(0.8), 2u);
+  EXPECT_EQ(sim.Radius(0.729), 3u);
+}
+
+TEST(SimilarityTest, RadiusAboveOneIsZero) {
+  SimilarityFunction sim(0.9);
+  EXPECT_EQ(sim.Radius(1.5), 0u);
+}
+
+TEST(SimilarityTest, RadiusNonPositiveThetaCapped) {
+  SimilarityFunction sim(0.9);
+  EXPECT_EQ(sim.Radius(0.0), SimilarityFunction::kMaxRadius);
+  EXPECT_EQ(sim.Radius(-1.0), SimilarityFunction::kMaxRadius);
+}
+
+TEST(SimilarityTest, RadiusConsistentWithSim) {
+  // For a sweep of thetas: sim(Radius(theta)) >= theta > sim(Radius+1).
+  SimilarityFunction sim(0.85);
+  for (double theta : {0.99, 0.9, 0.8, 0.7, 0.5, 0.3, 0.1}) {
+    uint32_t r = sim.Radius(theta);
+    EXPECT_GE(sim.SimAtDistance(r) + 1e-9, theta) << theta;
+    EXPECT_LT(sim.SimAtDistance(r + 1), theta) << theta;
+  }
+}
+
+TEST(SimilarityTest, OtherBases) {
+  SimilarityFunction half(0.5);
+  EXPECT_EQ(half.Radius(0.5), 1u);
+  EXPECT_EQ(half.Radius(0.25), 2u);
+  EXPECT_EQ(half.Radius(0.26), 1u);
+}
+
+TEST(SimilarityTest, SimilarityThroughOntology) {
+  test::TravelFixture f = test::MakeTravelFixture();
+  SimilarityFunction sim(0.9);
+  LabelId museum = f.dict.Lookup("museum");
+  LabelId rg = f.dict.Lookup("royal_gallery");
+  LabelId disney = f.dict.Lookup("disneyland");
+  // Paper Example II.1: sim(museum, Disneyland) = 0.9^2 = 0.81.
+  EXPECT_DOUBLE_EQ(sim.Similarity(f.o, museum, disney, 0.5), 0.81);
+  EXPECT_DOUBLE_EQ(sim.Similarity(f.o, museum, rg, 0.5), 0.9);
+}
+
+TEST(SimilarityTest, SimilaritySymmetric) {
+  test::TravelFixture f = test::MakeTravelFixture();
+  SimilarityFunction sim(0.9);
+  LabelId museum = f.dict.Lookup("museum");
+  LabelId disney = f.dict.Lookup("disneyland");
+  EXPECT_DOUBLE_EQ(sim.Similarity(f.o, museum, disney, 0.5),
+                   sim.Similarity(f.o, disney, museum, 0.5));
+}
+
+TEST(SimilarityTest, SimilarityBelowFloorIsZero) {
+  test::TravelFixture f = test::MakeTravelFixture();
+  SimilarityFunction sim(0.9);
+  LabelId museum = f.dict.Lookup("museum");
+  LabelId disney = f.dict.Lookup("disneyland");
+  // Floor 0.9 -> radius 1, but disneyland is 2 hops away.
+  EXPECT_DOUBLE_EQ(sim.Similarity(f.o, museum, disney, 0.9), 0.0);
+  EXPECT_FALSE(sim.AtLeast(f.o, museum, disney, 0.9));
+  EXPECT_TRUE(sim.AtLeast(f.o, museum, disney, 0.81));
+}
+
+TEST(SimilarityTest, IdenticalLabelsAlwaysOne) {
+  OntologyGraph o;  // empty ontology
+  SimilarityFunction sim(0.9);
+  EXPECT_DOUBLE_EQ(sim.Similarity(o, 7, 7, 0.9), 1.0);
+}
+
+TEST(SimilarityTest, TraditionalIsomorphismAsSpecialCase) {
+  // theta == 1 admits identical labels only (paper §II-B).
+  test::TravelFixture f = test::MakeTravelFixture();
+  SimilarityFunction sim(0.9);
+  LabelId museum = f.dict.Lookup("museum");
+  LabelId rg = f.dict.Lookup("royal_gallery");
+  EXPECT_TRUE(sim.AtLeast(f.o, museum, museum, 1.0));
+  EXPECT_FALSE(sim.AtLeast(f.o, museum, rg, 1.0));
+}
+
+
+TEST(SimilarityModelTest, LinearSimAndRadius) {
+  SimilarityFunction sim = SimilarityFunction::Linear(/*cutoff=*/2);
+  EXPECT_EQ(sim.model(), SimilarityModel::kLinear);
+  EXPECT_DOUBLE_EQ(sim.SimAtDistance(0), 1.0);
+  EXPECT_NEAR(sim.SimAtDistance(1), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(sim.SimAtDistance(2), 1.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(sim.SimAtDistance(3), 0.0);
+  EXPECT_DOUBLE_EQ(sim.SimAtDistance(100), 0.0);
+  EXPECT_EQ(sim.Radius(1.0), 0u);
+  EXPECT_EQ(sim.Radius(0.67), 0u);
+  EXPECT_EQ(sim.Radius(2.0 / 3.0), 1u);
+  EXPECT_EQ(sim.Radius(0.34), 1u);
+  EXPECT_EQ(sim.Radius(1.0 / 3.0), 2u);
+  EXPECT_EQ(sim.Radius(0.01), 2u);   // capped at the cutoff
+  EXPECT_EQ(sim.Radius(0.0), 2u);
+}
+
+TEST(SimilarityModelTest, ReciprocalSimAndRadius) {
+  SimilarityFunction sim = SimilarityFunction::Reciprocal();
+  EXPECT_EQ(sim.model(), SimilarityModel::kReciprocal);
+  EXPECT_DOUBLE_EQ(sim.SimAtDistance(0), 1.0);
+  EXPECT_DOUBLE_EQ(sim.SimAtDistance(1), 0.5);
+  EXPECT_DOUBLE_EQ(sim.SimAtDistance(3), 0.25);
+  EXPECT_EQ(sim.Radius(1.0), 0u);
+  EXPECT_EQ(sim.Radius(0.5), 1u);
+  EXPECT_EQ(sim.Radius(0.4), 1u);
+  EXPECT_EQ(sim.Radius(0.25), 3u);
+  EXPECT_EQ(sim.Radius(0.0), SimilarityFunction::kMaxRadius);
+}
+
+// Radius must invert SimAtDistance for every model (the property every
+// engine phase relies on).
+class ModelRadiusTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ModelRadiusTest, RadiusConsistentWithSim) {
+  SimilarityFunction sim =
+      GetParam() == 0   ? SimilarityFunction::Exponential(0.9)
+      : GetParam() == 1 ? SimilarityFunction::Linear(4)
+                        : SimilarityFunction::Reciprocal();
+  for (double theta : {0.99, 0.9, 0.8, 0.6, 0.4, 0.21, 0.11}) {
+    uint32_t r = sim.Radius(theta);
+    EXPECT_GE(sim.SimAtDistance(r) + 1e-9, theta) << theta;
+    EXPECT_LT(sim.SimAtDistance(r + 1), theta) << theta;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, ModelRadiusTest,
+                         ::testing::Values(0, 1, 2));
+
+TEST(SimilarityModelTest, OntologySimilarityUnderLinearModel) {
+  test::TravelFixture f = test::MakeTravelFixture();
+  SimilarityFunction sim = SimilarityFunction::Linear(3);
+  LabelId museum = f.dict.Lookup("museum");
+  LabelId rg = f.dict.Lookup("royal_gallery");
+  LabelId disney = f.dict.Lookup("disneyland");
+  EXPECT_DOUBLE_EQ(sim.Similarity(f.o, museum, rg, 0.1), 0.75);
+  EXPECT_DOUBLE_EQ(sim.Similarity(f.o, museum, disney, 0.1), 0.5);
+}
+
+}  // namespace
+}  // namespace osq

@@ -1,0 +1,83 @@
+#include "baseline/simmatrix.h"
+
+#include <gtest/gtest.h>
+#include "test_util.h"
+
+namespace osq {
+namespace {
+
+TEST(SimMatrixTest, MatrixContainsExpectedCandidates) {
+  test::TravelFixture f = test::MakeTravelFixture();
+  SimilarityFunction sim(0.9);
+  SimMatrix m = BuildSimMatrix(f.query, f.g, f.o, sim, 0.81);
+  ASSERT_EQ(m.candidates.size(), 3u);
+  // museum: RG (0.9) then Disneyland (0.81), sorted best-first.
+  const auto& museum = m.candidates[f.q_museum];
+  ASSERT_EQ(museum.size(), 2u);
+  EXPECT_EQ(museum[0].node, f.rg);
+  EXPECT_DOUBLE_EQ(museum[0].sim, 0.9);
+  EXPECT_EQ(museum[1].node, f.disneyland);
+  EXPECT_DOUBLE_EQ(museum[1].sim, 0.81);
+}
+
+TEST(SimMatrixTest, HigherThetaShrinksMatrix) {
+  test::TravelFixture f = test::MakeTravelFixture();
+  SimilarityFunction sim(0.9);
+  SimMatrix loose = BuildSimMatrix(f.query, f.g, f.o, sim, 0.81);
+  SimMatrix tight = BuildSimMatrix(f.query, f.g, f.o, sim, 0.9);
+  for (NodeId u = 0; u < f.query.num_nodes(); ++u) {
+    EXPECT_LE(tight.candidates[u].size(), loose.candidates[u].size());
+  }
+  EXPECT_EQ(tight.candidates[f.q_museum].size(), 1u);
+}
+
+TEST(SimMatrixTest, MatchAgreesWithPaperExample) {
+  test::TravelFixture f = test::MakeTravelFixture();
+  SimilarityFunction sim(0.9);
+  SimMatrix m = BuildSimMatrix(f.query, f.g, f.o, sim, 0.81);
+  QueryOptions options;
+  options.theta = 0.81;
+  options.k = 10;
+  KMatchStats stats;
+  std::vector<Match> matches =
+      SimMatrixMatch(f.query, f.g, m, options, &stats);
+  ASSERT_EQ(matches.size(), 2u);
+  EXPECT_DOUBLE_EQ(matches[0].score, 2.7);
+  EXPECT_NEAR(matches[1].score, 2.61, 1e-12);
+  EXPECT_GT(stats.search_steps, 0u);
+}
+
+TEST(SimMatrixTest, IdenticalLabelFallbackForUnknownLabels) {
+  // A query label absent from the ontology still matches identical data
+  // labels through the sim == 1 fallback.
+  LabelDictionary dict;
+  OntologyGraph o;
+  o.AddRelation(dict.Intern("a"), dict.Intern("b"));
+  LabelId mystery = dict.Intern("mystery");
+  Graph g;
+  g.AddNode(mystery);
+  Graph q;
+  q.AddNode(mystery);
+  SimilarityFunction sim(0.9);
+  SimMatrix m = BuildSimMatrix(q, g, o, sim, 0.9);
+  ASSERT_EQ(m.candidates[0].size(), 1u);
+  EXPECT_DOUBLE_EQ(m.candidates[0][0].sim, 1.0);
+}
+
+TEST(SimMatrixTest, EmptyMatrixMeansNoMatches) {
+  test::TravelFixture f = test::MakeTravelFixture();
+  SimilarityFunction sim(0.9);
+  StringGraphBuilder qb(&f.dict);
+  qb.AddNode("x", "leisure_center");
+  qb.AddNode("y", "leisure_center");
+  qb.AddEdge("x", "y", "near");
+  SimMatrix m = BuildSimMatrix(qb.graph(), f.g, f.o, sim, 0.95);
+  // leisure_center itself is not a data label; radius 0 leaves nothing...
+  // except radius(0.95)=0 -> no candidates at all.
+  EXPECT_TRUE(m.candidates[0].empty());
+  EXPECT_TRUE(
+      SimMatrixMatch(qb.graph(), f.g, m, QueryOptions{}).empty());
+}
+
+}  // namespace
+}  // namespace osq

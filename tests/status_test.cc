@@ -1,0 +1,68 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace osq {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, OkFactory) {
+  EXPECT_TRUE(Status::Ok().ok());
+}
+
+TEST(StatusTest, InvalidArgument) {
+  Status s = Status::InvalidArgument("bad theta");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad theta");
+  EXPECT_EQ(s.ToString(), "INVALID_ARGUMENT: bad theta");
+}
+
+TEST(StatusTest, NotFound) {
+  Status s = Status::NotFound("missing");
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.ToString(), "NOT_FOUND: missing");
+}
+
+TEST(StatusTest, IoError) {
+  Status s = Status::IoError("disk");
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+  EXPECT_EQ(s.ToString(), "IO_ERROR: disk");
+}
+
+TEST(StatusTest, Corruption) {
+  Status s = Status::Corruption("bad record");
+  EXPECT_EQ(s.code(), StatusCode::kCorruption);
+  EXPECT_EQ(s.ToString(), "CORRUPTION: bad record");
+}
+
+Status FailsThrough() {
+  OSQ_RETURN_IF_ERROR(Status::NotFound("inner"));
+  return Status::Ok();
+}
+
+Status Succeeds() {
+  OSQ_RETURN_IF_ERROR(Status::Ok());
+  return Status::InvalidArgument("reached end");
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  EXPECT_EQ(FailsThrough().code(), StatusCode::kNotFound);
+  EXPECT_EQ(Succeeds().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StatusTest, CopySemantics) {
+  Status a = Status::IoError("x");
+  Status b = a;
+  EXPECT_EQ(b.code(), StatusCode::kIoError);
+  EXPECT_EQ(b.message(), "x");
+}
+
+}  // namespace
+}  // namespace osq

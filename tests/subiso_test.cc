@@ -1,0 +1,170 @@
+#include "baseline/subiso.h"
+
+#include <gtest/gtest.h>
+#include "test_util.h"
+
+namespace osq {
+namespace {
+
+TEST(SubIsoTest, NoIdenticalLabelMatchForOntologyQuery) {
+  // Paper Example I.1: traditional subgraph isomorphism finds nothing for
+  // the travel query — no node in G carries the query's labels.
+  test::TravelFixture f = test::MakeTravelFixture();
+  EXPECT_TRUE(SubIso(f.query, f.g, MatchSemantics::kInduced).empty());
+}
+
+TEST(SubIsoTest, FindsExactTriangle) {
+  test::TravelFixture f = test::MakeTravelFixture();
+  StringGraphBuilder qb(&f.dict);
+  qb.AddNode("t", "culture_tours");
+  qb.AddNode("m", "royal_gallery");
+  qb.AddNode("s", "starlight");
+  qb.AddEdge("t", "m", "guide");
+  qb.AddEdge("t", "s", "fav");
+  qb.AddEdge("s", "m", "near");
+  SubIsoStats stats;
+  std::vector<Match> matches =
+      SubIso(qb.graph(), f.g, MatchSemantics::kInduced, 0, 0, &stats);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].mapping[qb.NodeIdOf("t")], f.ct);
+  EXPECT_EQ(matches[0].mapping[qb.NodeIdOf("m")], f.rg);
+  EXPECT_EQ(matches[0].mapping[qb.NodeIdOf("s")], f.starlight);
+  EXPECT_DOUBLE_EQ(matches[0].score, 3.0);
+  EXPECT_EQ(stats.matches_found, 1u);
+}
+
+TEST(SubIsoTest, EdgeLabelMismatchRejected) {
+  test::TravelFixture f = test::MakeTravelFixture();
+  StringGraphBuilder qb(&f.dict);
+  qb.AddNode("t", "culture_tours");
+  qb.AddNode("m", "royal_gallery");
+  qb.AddEdge("t", "m", "near");  // the real edge is labeled "guide"
+  EXPECT_TRUE(SubIso(qb.graph(), f.g, MatchSemantics::kInduced).empty());
+}
+
+TEST(SubIsoTest, CountsAllMatchesOfRepeatedPattern) {
+  // Two disjoint copies of a -> b.
+  LabelDictionary dict;
+  Graph g;
+  LabelId a = dict.Intern("a");
+  LabelId b = dict.Intern("b");
+  g.AddNode(a);
+  g.AddNode(b);
+  g.AddNode(a);
+  g.AddNode(b);
+  g.AddEdge(0, 1, 0);
+  g.AddEdge(2, 3, 0);
+  Graph q;
+  q.AddNode(a);
+  q.AddNode(b);
+  q.AddEdge(0, 1, 0);
+  EXPECT_EQ(SubIso(q, g, MatchSemantics::kInduced).size(), 2u);
+}
+
+TEST(SubIsoTest, LimitStopsEarly) {
+  LabelDictionary dict;
+  Graph g;
+  LabelId a = dict.Intern("a");
+  // Star: many identical matches.
+  g.AddNode(a);
+  for (int i = 0; i < 10; ++i) {
+    g.AddNode(a);
+    g.AddEdge(0, static_cast<NodeId>(i + 1), 0);
+  }
+  Graph q;
+  q.AddNode(a);
+  q.AddNode(a);
+  q.AddEdge(0, 1, 0);
+  EXPECT_EQ(SubIso(q, g, MatchSemantics::kHomomorphicEdges, 3).size(), 3u);
+}
+
+TEST(SubIsoTest, MaxStepsTruncates) {
+  LabelDictionary dict;
+  Graph g;
+  LabelId a = dict.Intern("a");
+  g.AddNode(a);
+  for (int i = 0; i < 10; ++i) {
+    g.AddNode(a);
+    g.AddEdge(0, static_cast<NodeId>(i + 1), 0);
+  }
+  Graph q;
+  q.AddNode(a);
+  q.AddNode(a);
+  q.AddEdge(0, 1, 0);
+  SubIsoStats stats;
+  SubIso(q, g, MatchSemantics::kHomomorphicEdges, 0, 2, &stats);
+  EXPECT_TRUE(stats.truncated);
+}
+
+TEST(SubIsoTest, InducedVsHomomorphicSemantics) {
+  LabelDictionary dict;
+  LabelId a = dict.Intern("a");
+  Graph g;
+  g.AddNode(a);
+  g.AddNode(a);
+  g.AddEdge(0, 1, 0);
+  g.AddEdge(1, 0, 0);  // back edge
+  Graph q;
+  q.AddNode(a);
+  q.AddNode(a);
+  q.AddEdge(0, 1, 0);
+  EXPECT_TRUE(SubIso(q, g, MatchSemantics::kInduced).empty());
+  EXPECT_EQ(SubIso(q, g, MatchSemantics::kHomomorphicEdges).size(), 2u);
+}
+
+TEST(SubIsoTest, AutomorphismsCountedAsDistinctMappings) {
+  // Symmetric query on a symmetric target: both assignments reported.
+  LabelDictionary dict;
+  LabelId a = dict.Intern("a");
+  Graph g;
+  g.AddNode(a);
+  g.AddNode(a);
+  g.AddEdge(0, 1, 0);
+  g.AddEdge(1, 0, 0);
+  Graph q;
+  q.AddNode(a);
+  q.AddNode(a);
+  q.AddEdge(0, 1, 0);
+  q.AddEdge(1, 0, 0);
+  EXPECT_EQ(SubIso(q, g, MatchSemantics::kInduced).size(), 2u);
+}
+
+TEST(SubIsoTest, SingleNodeQueryMatchesEveryLabelOccurrence) {
+  LabelDictionary dict;
+  LabelId a = dict.Intern("a");
+  LabelId b = dict.Intern("b");
+  Graph g;
+  g.AddNode(a);
+  g.AddNode(b);
+  g.AddNode(a);
+  Graph q;
+  q.AddNode(a);
+  EXPECT_EQ(SubIso(q, g, MatchSemantics::kInduced).size(), 2u);
+}
+
+TEST(SubIsoTest, EmptyQueryYieldsNothing) {
+  Graph g;
+  g.AddNode(0);
+  EXPECT_TRUE(SubIso(Graph(), g, MatchSemantics::kInduced).empty());
+}
+
+TEST(SubIsoTest, DegreeFilterDoesNotDropValidMatches) {
+  // Data node with HIGHER degree than the query node still matches.
+  LabelDictionary dict;
+  LabelId a = dict.Intern("a");
+  LabelId b = dict.Intern("b");
+  Graph g;
+  g.AddNode(a);
+  g.AddNode(b);
+  g.AddNode(b);
+  g.AddEdge(0, 1, 0);
+  g.AddEdge(0, 2, 0);  // extra edge out of the 'a' node
+  Graph q;
+  q.AddNode(a);
+  q.AddNode(b);
+  q.AddEdge(0, 1, 0);
+  EXPECT_EQ(SubIso(q, g, MatchSemantics::kInduced).size(), 2u);
+}
+
+}  // namespace
+}  // namespace osq

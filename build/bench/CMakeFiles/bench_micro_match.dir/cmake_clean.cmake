@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_match.dir/bench_micro_match.cc.o"
+  "CMakeFiles/bench_micro_match.dir/bench_micro_match.cc.o.d"
+  "bench_micro_match"
+  "bench_micro_match.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_match.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_ontology.dir/bench_micro_ontology.cc.o"
+  "CMakeFiles/bench_micro_ontology.dir/bench_micro_ontology.cc.o.d"
+  "bench_micro_ontology"
+  "bench_micro_ontology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_ontology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

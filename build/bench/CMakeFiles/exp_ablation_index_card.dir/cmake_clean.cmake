@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_ablation_index_card.dir/exp_ablation_index_card.cc.o"
+  "CMakeFiles/exp_ablation_index_card.dir/exp_ablation_index_card.cc.o.d"
+  "exp_ablation_index_card"
+  "exp_ablation_index_card.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_ablation_index_card.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

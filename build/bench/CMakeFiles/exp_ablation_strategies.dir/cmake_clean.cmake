@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_ablation_strategies.dir/exp_ablation_strategies.cc.o"
+  "CMakeFiles/exp_ablation_strategies.dir/exp_ablation_strategies.cc.o.d"
+  "exp_ablation_strategies"
+  "exp_ablation_strategies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_ablation_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

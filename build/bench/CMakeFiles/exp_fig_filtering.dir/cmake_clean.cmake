@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_fig_filtering.dir/exp_fig_filtering.cc.o"
+  "CMakeFiles/exp_fig_filtering.dir/exp_fig_filtering.cc.o.d"
+  "exp_fig_filtering"
+  "exp_fig_filtering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_fig_filtering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

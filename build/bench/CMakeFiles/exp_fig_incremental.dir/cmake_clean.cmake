@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_fig_incremental.dir/exp_fig_incremental.cc.o"
+  "CMakeFiles/exp_fig_incremental.dir/exp_fig_incremental.cc.o.d"
+  "exp_fig_incremental"
+  "exp_fig_incremental.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_fig_incremental.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

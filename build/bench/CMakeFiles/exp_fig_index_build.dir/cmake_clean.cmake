@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_fig_index_build.dir/exp_fig_index_build.cc.o"
+  "CMakeFiles/exp_fig_index_build.dir/exp_fig_index_build.cc.o.d"
+  "exp_fig_index_build"
+  "exp_fig_index_build.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_fig_index_build.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for exp_fig_index_build.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_fig_vary_g.dir/exp_fig_vary_g.cc.o"
+  "CMakeFiles/exp_fig_vary_g.dir/exp_fig_vary_g.cc.o.d"
+  "exp_fig_vary_g"
+  "exp_fig_vary_g.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_fig_vary_g.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

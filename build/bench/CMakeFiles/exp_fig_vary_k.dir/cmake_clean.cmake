@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_fig_vary_k.dir/exp_fig_vary_k.cc.o"
+  "CMakeFiles/exp_fig_vary_k.dir/exp_fig_vary_k.cc.o.d"
+  "exp_fig_vary_k"
+  "exp_fig_vary_k.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_fig_vary_k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_fig_vary_q.dir/exp_fig_vary_q.cc.o"
+  "CMakeFiles/exp_fig_vary_q.dir/exp_fig_vary_q.cc.o.d"
+  "exp_fig_vary_q"
+  "exp_fig_vary_q.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_fig_vary_q.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_fig_vary_theta.dir/exp_fig_vary_theta.cc.o"
+  "CMakeFiles/exp_fig_vary_theta.dir/exp_fig_vary_theta.cc.o.d"
+  "exp_fig_vary_theta"
+  "exp_fig_vary_theta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_fig_vary_theta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_table1_effectiveness.dir/exp_table1_effectiveness.cc.o"
+  "CMakeFiles/exp_table1_effectiveness.dir/exp_table1_effectiveness.cc.o.d"
+  "exp_table1_effectiveness"
+  "exp_table1_effectiveness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_table1_effectiveness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

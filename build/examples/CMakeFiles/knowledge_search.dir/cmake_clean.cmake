@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/knowledge_search.dir/knowledge_search.cpp.o"
+  "CMakeFiles/knowledge_search.dir/knowledge_search.cpp.o.d"
+  "knowledge_search"
+  "knowledge_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/knowledge_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

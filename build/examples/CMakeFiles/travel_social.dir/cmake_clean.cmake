@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/travel_social.dir/travel_social.cpp.o"
+  "CMakeFiles/travel_social.dir/travel_social.cpp.o.d"
+  "travel_social"
+  "travel_social.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/travel_social.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,47 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/rewriting.cc" "src/CMakeFiles/osq.dir/baseline/rewriting.cc.o" "gcc" "src/CMakeFiles/osq.dir/baseline/rewriting.cc.o.d"
+  "/root/repo/src/baseline/simmatrix.cc" "src/CMakeFiles/osq.dir/baseline/simmatrix.cc.o" "gcc" "src/CMakeFiles/osq.dir/baseline/simmatrix.cc.o.d"
+  "/root/repo/src/baseline/subiso.cc" "src/CMakeFiles/osq.dir/baseline/subiso.cc.o" "gcc" "src/CMakeFiles/osq.dir/baseline/subiso.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/osq.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/osq.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/osq.dir/common/status.cc.o" "gcc" "src/CMakeFiles/osq.dir/common/status.cc.o.d"
+  "/root/repo/src/common/timer.cc" "src/CMakeFiles/osq.dir/common/timer.cc.o" "gcc" "src/CMakeFiles/osq.dir/common/timer.cc.o.d"
+  "/root/repo/src/core/concept_graph.cc" "src/CMakeFiles/osq.dir/core/concept_graph.cc.o" "gcc" "src/CMakeFiles/osq.dir/core/concept_graph.cc.o.d"
+  "/root/repo/src/core/diversify.cc" "src/CMakeFiles/osq.dir/core/diversify.cc.o" "gcc" "src/CMakeFiles/osq.dir/core/diversify.cc.o.d"
+  "/root/repo/src/core/explain.cc" "src/CMakeFiles/osq.dir/core/explain.cc.o" "gcc" "src/CMakeFiles/osq.dir/core/explain.cc.o.d"
+  "/root/repo/src/core/filtering.cc" "src/CMakeFiles/osq.dir/core/filtering.cc.o" "gcc" "src/CMakeFiles/osq.dir/core/filtering.cc.o.d"
+  "/root/repo/src/core/index_io.cc" "src/CMakeFiles/osq.dir/core/index_io.cc.o" "gcc" "src/CMakeFiles/osq.dir/core/index_io.cc.o.d"
+  "/root/repo/src/core/index_maintenance.cc" "src/CMakeFiles/osq.dir/core/index_maintenance.cc.o" "gcc" "src/CMakeFiles/osq.dir/core/index_maintenance.cc.o.d"
+  "/root/repo/src/core/kmatch.cc" "src/CMakeFiles/osq.dir/core/kmatch.cc.o" "gcc" "src/CMakeFiles/osq.dir/core/kmatch.cc.o.d"
+  "/root/repo/src/core/ontology_index.cc" "src/CMakeFiles/osq.dir/core/ontology_index.cc.o" "gcc" "src/CMakeFiles/osq.dir/core/ontology_index.cc.o.d"
+  "/root/repo/src/core/query_engine.cc" "src/CMakeFiles/osq.dir/core/query_engine.cc.o" "gcc" "src/CMakeFiles/osq.dir/core/query_engine.cc.o.d"
+  "/root/repo/src/gen/query_gen.cc" "src/CMakeFiles/osq.dir/gen/query_gen.cc.o" "gcc" "src/CMakeFiles/osq.dir/gen/query_gen.cc.o.d"
+  "/root/repo/src/gen/scenarios.cc" "src/CMakeFiles/osq.dir/gen/scenarios.cc.o" "gcc" "src/CMakeFiles/osq.dir/gen/scenarios.cc.o.d"
+  "/root/repo/src/gen/synthetic.cc" "src/CMakeFiles/osq.dir/gen/synthetic.cc.o" "gcc" "src/CMakeFiles/osq.dir/gen/synthetic.cc.o.d"
+  "/root/repo/src/gen/workload.cc" "src/CMakeFiles/osq.dir/gen/workload.cc.o" "gcc" "src/CMakeFiles/osq.dir/gen/workload.cc.o.d"
+  "/root/repo/src/graph/graph.cc" "src/CMakeFiles/osq.dir/graph/graph.cc.o" "gcc" "src/CMakeFiles/osq.dir/graph/graph.cc.o.d"
+  "/root/repo/src/graph/graph_algorithms.cc" "src/CMakeFiles/osq.dir/graph/graph_algorithms.cc.o" "gcc" "src/CMakeFiles/osq.dir/graph/graph_algorithms.cc.o.d"
+  "/root/repo/src/graph/graph_io.cc" "src/CMakeFiles/osq.dir/graph/graph_io.cc.o" "gcc" "src/CMakeFiles/osq.dir/graph/graph_io.cc.o.d"
+  "/root/repo/src/graph/label_dictionary.cc" "src/CMakeFiles/osq.dir/graph/label_dictionary.cc.o" "gcc" "src/CMakeFiles/osq.dir/graph/label_dictionary.cc.o.d"
+  "/root/repo/src/graph/query_graph.cc" "src/CMakeFiles/osq.dir/graph/query_graph.cc.o" "gcc" "src/CMakeFiles/osq.dir/graph/query_graph.cc.o.d"
+  "/root/repo/src/graph/subgraph.cc" "src/CMakeFiles/osq.dir/graph/subgraph.cc.o" "gcc" "src/CMakeFiles/osq.dir/graph/subgraph.cc.o.d"
+  "/root/repo/src/ontology/ontology_graph.cc" "src/CMakeFiles/osq.dir/ontology/ontology_graph.cc.o" "gcc" "src/CMakeFiles/osq.dir/ontology/ontology_graph.cc.o.d"
+  "/root/repo/src/ontology/ontology_partition.cc" "src/CMakeFiles/osq.dir/ontology/ontology_partition.cc.o" "gcc" "src/CMakeFiles/osq.dir/ontology/ontology_partition.cc.o.d"
+  "/root/repo/src/ontology/similarity.cc" "src/CMakeFiles/osq.dir/ontology/similarity.cc.o" "gcc" "src/CMakeFiles/osq.dir/ontology/similarity.cc.o.d"
+  "/root/repo/src/query/pattern_parser.cc" "src/CMakeFiles/osq.dir/query/pattern_parser.cc.o" "gcc" "src/CMakeFiles/osq.dir/query/pattern_parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concept_graph_test.dir/concept_graph_test.cc.o"
+  "CMakeFiles/concept_graph_test.dir/concept_graph_test.cc.o.d"
+  "concept_graph_test"
+  "concept_graph_test.pdb"
+  "concept_graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concept_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

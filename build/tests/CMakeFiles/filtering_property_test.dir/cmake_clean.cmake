@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/filtering_property_test.dir/filtering_property_test.cc.o"
+  "CMakeFiles/filtering_property_test.dir/filtering_property_test.cc.o.d"
+  "filtering_property_test"
+  "filtering_property_test.pdb"
+  "filtering_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/filtering_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/index_maintenance_test.dir/index_maintenance_test.cc.o"
+  "CMakeFiles/index_maintenance_test.dir/index_maintenance_test.cc.o.d"
+  "index_maintenance_test"
+  "index_maintenance_test.pdb"
+  "index_maintenance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/index_maintenance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

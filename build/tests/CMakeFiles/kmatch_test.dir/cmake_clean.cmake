@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kmatch_test.dir/kmatch_test.cc.o"
+  "CMakeFiles/kmatch_test.dir/kmatch_test.cc.o.d"
+  "kmatch_test"
+  "kmatch_test.pdb"
+  "kmatch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kmatch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/label_dictionary_test.dir/label_dictionary_test.cc.o"
+  "CMakeFiles/label_dictionary_test.dir/label_dictionary_test.cc.o.d"
+  "label_dictionary_test"
+  "label_dictionary_test.pdb"
+  "label_dictionary_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/label_dictionary_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ontology_graph_test.dir/ontology_graph_test.cc.o"
+  "CMakeFiles/ontology_graph_test.dir/ontology_graph_test.cc.o.d"
+  "ontology_graph_test"
+  "ontology_graph_test.pdb"
+  "ontology_graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ontology_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

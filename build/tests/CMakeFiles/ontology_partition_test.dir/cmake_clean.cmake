@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ontology_partition_test.dir/ontology_partition_test.cc.o"
+  "CMakeFiles/ontology_partition_test.dir/ontology_partition_test.cc.o.d"
+  "ontology_partition_test"
+  "ontology_partition_test.pdb"
+  "ontology_partition_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ontology_partition_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

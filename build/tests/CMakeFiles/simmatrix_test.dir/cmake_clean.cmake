@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simmatrix_test.dir/simmatrix_test.cc.o"
+  "CMakeFiles/simmatrix_test.dir/simmatrix_test.cc.o.d"
+  "simmatrix_test"
+  "simmatrix_test.pdb"
+  "simmatrix_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simmatrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

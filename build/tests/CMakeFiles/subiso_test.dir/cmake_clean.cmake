@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subiso_test.dir/subiso_test.cc.o"
+  "CMakeFiles/subiso_test.dir/subiso_test.cc.o.d"
+  "subiso_test"
+  "subiso_test.pdb"
+  "subiso_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subiso_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

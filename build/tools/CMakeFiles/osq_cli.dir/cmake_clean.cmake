@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osq_cli.dir/osq_cli.cc.o"
+  "CMakeFiles/osq_cli.dir/osq_cli.cc.o.d"
+  "osq_cli"
+  "osq_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osq_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,7 +1,14 @@
 // M3: microbenchmarks of the matcher kernels — Gview filtering, KMatch
 // verification, SubIso, and similarity-matrix construction.
+//
+// Unlike the other bench_micro_* binaries this one has its own main so it
+// can accept driver flags after the google-benchmark ones:
+//   bench_micro_match [--benchmark_filter=...] [--threads N] [--json path]
+// --threads sets QueryOptions::num_threads for the filter/verify kernels;
+// --json writes {name, ms_per_query, threads} rows (e.g. BENCH_match.json).
 
 #include <memory>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -9,6 +16,7 @@
 
 #include "baseline/simmatrix.h"
 #include "baseline/subiso.h"
+#include "bench_util.h"
 #include "common/rng.h"
 #include "core/filtering.h"
 #include "core/kmatch.h"
@@ -19,6 +27,8 @@
 namespace {
 
 using namespace osq;
+
+size_t g_threads = 1;  // set from --threads in main
 
 struct World {
   gen::Dataset ds;
@@ -56,6 +66,7 @@ void BM_GviewFilter(benchmark::State& state) {
   World& w = TheWorld();
   QueryOptions options;
   options.theta = 0.85;
+  options.num_threads = g_threads;
   size_t i = 0;
   for (auto _ : state) {
     benchmark::DoNotOptimize(
@@ -70,6 +81,7 @@ void BM_KMatchVerify(benchmark::State& state) {
   QueryOptions options;
   options.theta = 0.85;
   options.k = 10;
+  options.num_threads = g_threads;
   std::vector<FilterResult> filters;
   for (const Graph& q : w.queries) {
     filters.push_back(GviewFilter(*w.index, q, options));
@@ -82,6 +94,24 @@ void BM_KMatchVerify(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_KMatchVerify)->Unit(benchmark::kMicrosecond);
+
+// End-to-end filter + verify with the configured thread count; the row the
+// bench trajectory tracks for parallel scaling.
+void BM_FilterVerifyEndToEnd(benchmark::State& state) {
+  World& w = TheWorld();
+  QueryOptions options;
+  options.theta = 0.85;
+  options.k = 10;
+  options.num_threads = g_threads;
+  size_t i = 0;
+  for (auto _ : state) {
+    size_t j = i % w.queries.size();
+    FilterResult filter = GviewFilter(*w.index, w.queries[j], options);
+    benchmark::DoNotOptimize(KMatch(w.queries[j], filter, options));
+    ++i;
+  }
+}
+BENCHMARK(BM_FilterVerifyEndToEnd)->Unit(benchmark::kMicrosecond);
 
 void BM_SubIsoWholeGraph(benchmark::State& state) {
   World& w = TheWorld();
@@ -108,4 +138,35 @@ void BM_BuildSimMatrix(benchmark::State& state) {
 }
 BENCHMARK(BM_BuildSimMatrix)->Unit(benchmark::kMicrosecond);
 
+// Console reporter that also captures every run into a JsonReport (all our
+// benchmarks use kMicrosecond, so adjusted real time / 1000 is ms/query).
+class JsonCapture : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonCapture(bench::JsonReport* report) : report_(report) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      report_->Add(run.benchmark_name(), run.GetAdjustedRealTime() / 1000.0,
+                   g_threads);
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  bench::JsonReport* report_;
+};
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);  // consumes --benchmark_* flags
+  g_threads = bench::ArgSize(argc, argv, "--threads", 1);
+  std::string json_path = bench::ArgValue(argc, argv, "--json", "");
+
+  bench::JsonReport report;
+  JsonCapture reporter(&report);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  if (!json_path.empty() && !report.WriteTo(json_path)) return 2;
+  return 0;
+}

@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/timer.h"
@@ -53,6 +54,83 @@ inline void PrintTitle(const std::string& title) {
 inline void PrintNote(const std::string& note) {
   std::printf("   %s\n", note.c_str());
 }
+
+// ---- machine-readable results ------------------------------------------
+//
+// Drivers accept `--json <path>` and write their rows as a JSON array of
+//   {"name": ..., "ms_per_query": ..., "threads": ..., <extras>}
+// so benchmark trajectories can be tracked across commits (e.g.
+// BENCH_match.json at the repo root).
+
+// Returns the value following `--flag` in argv, or `def` when absent.
+inline std::string ArgValue(int argc, char** argv, const std::string& flag,
+                            const std::string& def) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (flag == argv[i]) return argv[i + 1];
+  }
+  return def;
+}
+
+inline size_t ArgSize(int argc, char** argv, const std::string& flag,
+                      size_t def) {
+  std::string v = ArgValue(argc, argv, flag, "");
+  return v.empty() ? def : static_cast<size_t>(std::strtoull(v.c_str(),
+                                                             nullptr, 10));
+}
+
+class JsonReport {
+ public:
+  // `extras` are additional numeric fields, e.g. {{"speedup", 2.1}}.
+  void Add(const std::string& name, double ms_per_query, size_t threads,
+           const std::vector<std::pair<std::string, double>>& extras = {}) {
+    rows_.push_back({name, ms_per_query, threads, extras});
+  }
+
+  bool empty() const { return rows_.empty(); }
+
+  // Writes the rows; returns false (with a note on stderr) on IO failure.
+  bool WriteTo(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(f, "[\n");
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      const Row& r = rows_[i];
+      std::fprintf(f, "  {\"name\": \"%s\", \"ms_per_query\": %.6f, "
+                   "\"threads\": %zu",
+                   Escaped(r.name).c_str(), r.ms_per_query, r.threads);
+      for (const auto& [key, value] : r.extras) {
+        std::fprintf(f, ", \"%s\": %.6f", Escaped(key).c_str(), value);
+      }
+      std::fprintf(f, "}%s\n", i + 1 < rows_.size() ? "," : "");
+    }
+    std::fprintf(f, "]\n");
+    std::fclose(f);
+    std::printf("wrote %zu result row(s) to %s\n", rows_.size(), path.c_str());
+    return true;
+  }
+
+ private:
+  struct Row {
+    std::string name;
+    double ms_per_query;
+    size_t threads;
+    std::vector<std::pair<std::string, double>> extras;
+  };
+
+  static std::string Escaped(const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::vector<Row> rows_;
+};
 
 }  // namespace bench
 }  // namespace osq

@@ -6,6 +6,10 @@
 // Paper claims: KMatch scales well with |G| and takes a fraction of
 // SubIso's time (<= 22% on the largest real graph); SubIso_r is the
 // slowest by a wide margin.
+//
+// Flags: --threads N sets num_threads for index build and KMatch;
+//        --json <path> writes the KMatch per-query times (e.g.
+//        BENCH_match.json) as {name, ms_per_query, threads} rows.
 
 #include <cstdio>
 #include <utility>
@@ -29,10 +33,15 @@ constexpr size_t kMaxRewritings = 20000;
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const size_t threads = bench::ArgSize(argc, argv, "--threads", 1);
+  const std::string json_path = bench::ArgValue(argc, argv, "--json", "");
+  bench::JsonReport report;
+
   bench::PrintTitle("E2 / Exp-2(a): query time (ms) vs |G|");
   bench::PrintNote("CrossDomain-like; |Q|=4, theta=0.9, K=10; median of 3, "
-                   "summed over 6 queries");
+                   "summed over 6 queries; threads=" +
+                   std::to_string(threads));
   std::printf("%-10s %10s %10s %10s %12s %12s %10s\n", "|V|", "KMatch",
               "SubIso", "VF2", "VF2-matrix", "SubIso_r", "ratio");
 
@@ -60,11 +69,13 @@ int main() {
 
     IndexOptions idx;
     idx.num_concept_graphs = 2;
+    idx.num_threads = threads;
     QueryEngine engine(std::move(ds.graph), std::move(ds.ontology), idx);
 
     QueryOptions options;
     options.theta = 0.9;
     options.k = 10;
+    options.num_threads = threads;
     SimilarityFunction sim(0.9);
 
     double kmatch_ms = bench::MedianMs(kReps, [&] {
@@ -99,8 +110,13 @@ int main() {
                 g_copy.num_nodes(), kmatch_ms, subiso_ms, vf2_ms, matrix_ms,
                 rewrite_ms,
                 subiso_ms > 0 ? 100.0 * kmatch_ms / subiso_ms : 0.0);
+    report.Add("kmatch/V=" + std::to_string(g_copy.num_nodes()),
+               kmatch_ms / static_cast<double>(queries.size()), threads,
+               {{"subiso_ms_per_query",
+                 subiso_ms / static_cast<double>(queries.size())}});
   }
   bench::PrintNote("ratio = KMatch / SubIso (paper reports <= 22% on its "
                    "largest graph)");
+  if (!json_path.empty() && !report.WriteTo(json_path)) return 2;
   return 0;
 }

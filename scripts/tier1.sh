@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Tier-1 verification: full build + test suite, then the concurrency tests
+# again under ThreadSanitizer (OSQ_SANITIZE=thread) so data races in the
+# parallel pipelines fail the build gate, not a user's query.
+#
+# Usage: scripts/tier1.sh [extra cmake args...]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: build + ctest =="
+cmake -B build -S . "$@"
+cmake --build build -j
+ctest --test-dir build --output-on-failure -j
+
+echo "== tier-1: concurrency tests under ThreadSanitizer =="
+cmake -B build-tsan -S . -DOSQ_SANITIZE=thread \
+  -DOSQ_BUILD_BENCHMARKS=OFF -DOSQ_BUILD_EXAMPLES=OFF "$@"
+cmake --build build-tsan -j --target thread_pool_test parallel_determinism_test
+ctest --test-dir build-tsan --output-on-failure \
+  -R 'ThreadPoolTest|ResolveNumThreadsTest|ParallelDeterminismTest'
+
+echo "tier-1 OK"

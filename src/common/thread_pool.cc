@@ -1,0 +1,143 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <exception>
+#include <memory>
+#include <utility>
+
+namespace osq {
+
+namespace {
+
+// True on threads owned by a ThreadPool; ParallelFor from such a thread
+// runs inline so a worker never blocks waiting on work that is queued
+// behind it.
+thread_local bool tls_inside_pool_worker = false;
+
+// State shared between the caller and the helper tasks of one ParallelFor.
+// Held by shared_ptr so a helper that is dequeued after the caller already
+// drained the range can still run (and find no work) safely.
+struct ForState {
+  explicit ForState(size_t n) : next(0), total(n) {}
+
+  std::atomic<size_t> next;
+  const size_t total;
+
+  std::mutex mu;
+  std::condition_variable done;
+  size_t pending_helpers = 0;
+  std::exception_ptr error;  // first exception wins
+
+  void Drain(const std::function<void(size_t)>& fn) {
+    for (size_t i = next.fetch_add(1); i < total; i = next.fetch_add(1)) {
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu);
+        if (!error) error = std::current_exception();
+        // Keep draining the remaining indices: sibling shards may hold
+        // references into caller-owned state, so every index must be
+        // claimed before ParallelFor returns.
+      }
+    }
+  }
+};
+
+}  // namespace
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  threads_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& t : threads_) {
+    t.join();
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  tls_inside_pool_worker = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_available_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::ParallelFor(size_t max_workers, size_t n,
+                             const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  size_t workers = max_workers < n ? max_workers : n;
+  if (workers <= 1 || threads_.empty() || tls_inside_pool_worker) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  auto state = std::make_shared<ForState>(n);
+  size_t helpers = workers - 1;  // the caller is the first worker
+  if (helpers > threads_.size()) helpers = threads_.size();
+  state->pending_helpers = helpers;
+  for (size_t h = 0; h < helpers; ++h) {
+    Submit([state, &fn] {
+      // Safe by-reference capture: the caller blocks until
+      // pending_helpers == 0, so `fn` outlives every helper.
+      state->Drain(fn);
+      {
+        std::lock_guard<std::mutex> lock(state->mu);
+        --state->pending_helpers;
+      }
+      state->done.notify_one();
+    });
+  }
+
+  state->Drain(fn);
+  {
+    std::unique_lock<std::mutex> lock(state->mu);
+    state->done.wait(lock, [&] { return state->pending_helpers == 0; });
+    if (state->error) std::rethrow_exception(state->error);
+  }
+}
+
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool* const pool = [] {
+    unsigned hw = std::thread::hardware_concurrency();
+    size_t workers = hw > 1 ? static_cast<size_t>(hw) - 1 : 0;
+    return new ThreadPool(workers);
+  }();
+  return *pool;
+}
+
+size_t ResolveNumThreads(size_t requested) {
+  if (requested != 0) return requested;
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<size_t>(hw) : 1;
+}
+
+void ParallelFor(size_t num_threads, size_t n,
+                 const std::function<void(size_t)>& fn) {
+  ThreadPool::Shared().ParallelFor(ResolveNumThreads(num_threads), n, fn);
+}
+
+}  // namespace osq

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <deque>
 #include <unordered_map>
+#include <utility>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 #include "ontology/ontology_graph.h"
 
 namespace osq {
@@ -160,14 +162,18 @@ FilterResult GviewFilter(const OntologyIndex& index, const Graph& query,
   const SimilarityFunction& sim = index.sim();
   size_t nq = query.num_nodes();
   OSQ_CHECK(nq > 0);
+  size_t num_threads = ResolveNumThreads(options.num_threads);
+
+  // Every parallel stage below computes strictly per-index state and merges
+  // it in index order, so the result (including stats) is identical for any
+  // thread count.
 
   // Exact candidate-label tables are needed for final pruning (and for the
   // non-lazy ablation); one ontology ball per query node.  Labels carried
   // by no data node cannot produce candidates and are dropped immediately,
   // which also tightens the lazy block selection below.
-  std::vector<std::unordered_map<LabelId, double>> exact_label_sims;
-  exact_label_sims.reserve(nq);
-  for (NodeId u = 0; u < nq; ++u) {
+  std::vector<std::unordered_map<LabelId, double>> exact_label_sims(nq);
+  ParallelFor(num_threads, nq, [&](size_t u) {
     std::unordered_map<LabelId, double> sims =
         ExactLabelSims(o, sim, query.NodeLabel(u), options.theta);
     for (auto it = sims.begin(); it != sims.end();) {
@@ -177,38 +183,70 @@ FilterResult GviewFilter(const OntologyIndex& index, const Graph& query,
         it = sims.erase(it);
       }
     }
-    if (sims.empty()) {
+    exact_label_sims[u] = std::move(sims);
+  });
+  for (NodeId u = 0; u < nq; ++u) {
+    if (exact_label_sims[u].empty()) {
       result.no_match = true;
       return result;
     }
-    exact_label_sims.push_back(std::move(sims));
   }
 
-  // mat(u): data-node candidate sets, intersected across concept graphs
-  // (paper, Gview lines 3-10).
-  std::vector<std::vector<NodeId>> mat(nq);
-  bool first_graph = true;
-  for (size_t i = 0; i < index.num_concept_graphs(); ++i) {
+  // Per concept graph: candidate blocks plus their member lists, computed
+  // in parallel (the refinement fixpoint of one concept graph is
+  // independent of every other graph's).  The intersection across graphs
+  // and the stats merge then run sequentially in graph order, preserving
+  // the exact sequential semantics — including the partial stats of the
+  // first graph that proves emptiness.
+  size_t ng = index.num_concept_graphs();
+  struct PerGraph {
+    bool ok = false;
+    std::vector<std::vector<NodeId>> nodes;  // per query node, sorted
+    FilterStats stats;
+  };
+  std::vector<PerGraph> per_graph(ng);
+  auto compute_graph = [&](size_t i) {
     const ConceptGraph& cg = index.concept_graph(i);
+    PerGraph& pg = per_graph[i];
     std::vector<std::vector<BlockId>> can;
-    if (!BlockCandidates(cg, o, sim, query, options, exact_label_sims, &can,
-                         &result.stats)) {
-      result.no_match = true;
-      return result;
-    }
+    pg.ok = BlockCandidates(cg, o, sim, query, options, exact_label_sims,
+                            &can, &pg.stats);
+    if (!pg.ok) return;
+    pg.nodes.resize(nq);
     for (NodeId u = 0; u < nq; ++u) {
-      std::vector<NodeId> nodes;
+      std::vector<NodeId>& nodes = pg.nodes[u];
       for (BlockId b : can[u]) {
         const std::vector<NodeId>& ms = cg.Members(b);
         nodes.insert(nodes.end(), ms.begin(), ms.end());
       }
       std::sort(nodes.begin(), nodes.end());
-      if (first_graph) {
-        mat[u] = std::move(nodes);
+    }
+  };
+  if (num_threads > 1) {
+    ParallelFor(num_threads, ng, compute_graph);
+  }
+
+  // mat(u): data-node candidate sets, intersected across concept graphs
+  // (paper, Gview lines 3-10).  Sequential runs compute each graph lazily
+  // so emptiness proofs keep their early exit.
+  std::vector<std::vector<NodeId>> mat(nq);
+  for (size_t i = 0; i < ng; ++i) {
+    if (num_threads <= 1) compute_graph(i);
+    PerGraph& pg = per_graph[i];
+    result.stats.initial_blocks += pg.stats.initial_blocks;
+    result.stats.pruned_blocks += pg.stats.pruned_blocks;
+    if (!pg.ok) {
+      result.no_match = true;
+      return result;
+    }
+    for (NodeId u = 0; u < nq; ++u) {
+      if (i == 0) {
+        mat[u] = std::move(pg.nodes[u]);
       } else {
         std::vector<NodeId> inter;
-        std::set_intersection(mat[u].begin(), mat[u].end(), nodes.begin(),
-                              nodes.end(), std::back_inserter(inter));
+        std::set_intersection(mat[u].begin(), mat[u].end(),
+                              pg.nodes[u].begin(), pg.nodes[u].end(),
+                              std::back_inserter(inter));
         mat[u] = std::move(inter);
       }
       if (mat[u].empty()) {
@@ -216,13 +254,12 @@ FilterResult GviewFilter(const OntologyIndex& index, const Graph& query,
         return result;
       }
     }
-    first_graph = false;
   }
 
   // Exact theta pruning: the lazy strategy over-approximates; keep only
   // data nodes whose label truly clears the threshold, remembering sims.
   std::vector<std::vector<std::pair<NodeId, double>>> exact(nq);
-  for (NodeId u = 0; u < nq; ++u) {
+  ParallelFor(num_threads, nq, [&](size_t u) {
     const auto& sims = exact_label_sims[u];
     for (NodeId v : mat[u]) {
       auto it = sims.find(g.NodeLabel(v));
@@ -230,6 +267,8 @@ FilterResult GviewFilter(const OntologyIndex& index, const Graph& query,
         exact[u].push_back({v, it->second});
       }
     }
+  });
+  for (NodeId u = 0; u < nq; ++u) {
     if (exact[u].empty()) {
       result.no_match = true;
       return result;
@@ -298,7 +337,7 @@ FilterResult GviewFilter(const OntologyIndex& index, const Graph& query,
   result.stats.gv_edges = result.gv.graph.num_edges();
 
   result.candidates.resize(nq);
-  for (NodeId u = 0; u < nq; ++u) {
+  ParallelFor(num_threads, nq, [&](size_t u) {
     for (const auto& [v, s] : exact[u]) {
       result.candidates[u].push_back({result.gv.from_original[v], s});
     }
@@ -307,7 +346,7 @@ FilterResult GviewFilter(const OntologyIndex& index, const Graph& query,
                 if (a.sim != b.sim) return a.sim > b.sim;
                 return a.node < b.node;
               });
-  }
+  });
   return result;
 }
 

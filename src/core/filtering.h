@@ -67,6 +67,11 @@ struct FilterResult {
 
 // Runs Gview for `query` over the index.  `query` must be a valid query
 // graph (see ValidateQuery); options.theta in (0, 1].
+//
+// With options.num_threads > 1 the per-concept-graph refinement and the
+// per-query-node candidate stages run on the shared thread pool; every
+// merge happens in index order, so the result (including stats) is
+// identical for any thread count.
 FilterResult GviewFilter(const OntologyIndex& index, const Graph& query,
                          const QueryOptions& options);
 

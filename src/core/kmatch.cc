@@ -1,8 +1,12 @@
 #include "core/kmatch.h"
 
 #include <algorithm>
+#include <atomic>
+#include <limits>
+#include <mutex>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 
 namespace osq {
 
@@ -13,162 +17,210 @@ namespace {
 // deterministically via MatchBetter.
 constexpr double kScoreEps = 1e-12;
 
+// Label-run comparisons over the allocation-free adjacency views.  Labels
+// within one (from, to) run are strictly ascending (the graph rejects
+// duplicate edges), so both are linear scans.
+bool LabelsEqual(Graph::EdgeLabelView a, Graph::EdgeLabelView b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a.first[i].label != b.first[i].label) return false;
+  }
+  return true;
+}
+
+bool LabelsInclude(Graph::EdgeLabelView sup, Graph::EdgeLabelView sub) {
+  const AdjEntry* s = sup.begin();
+  for (const AdjEntry& e : sub) {
+    while (s != sup.end() && s->label < e.label) ++s;
+    if (s == sup.end() || s->label != e.label) return false;
+    ++s;
+  }
+  return true;
+}
+
+// Read-only state shared by every root-partition search of one query:
+// the matching order, its optimistic suffix bounds, and the inputs.
+struct SearchContext {
+  const Graph& query;
+  const Graph& target;
+  const std::vector<std::vector<Candidate>>& candidates;
+  const QueryOptions& options;
+  std::vector<NodeId> order;
+  std::vector<double> suffix_best;
+};
+
+// Query-node matching order: start at the node with the fewest candidates,
+// then greedily extend by (most assigned neighbors, fewest candidates) so
+// partial assignments stay connected and constrained.  Assigned-neighbor
+// counts are maintained incrementally when a node is placed instead of
+// being recounted from the adjacency every iteration.
+void BuildOrder(SearchContext* ctx) {
+  const Graph& query = ctx->query;
+  size_t nq = query.num_nodes();
+  std::vector<bool> placed(nq, false);
+  // conn[u] = number of edges (counted per label, both directions) between
+  // u and already-placed nodes; matches the old recount semantics exactly.
+  std::vector<size_t> conn(nq, 0);
+  ctx->order.clear();
+  ctx->order.reserve(nq);
+  auto cand_size = [&](NodeId u) { return ctx->candidates[u].size(); };
+  auto place = [&](NodeId u) {
+    ctx->order.push_back(u);
+    placed[u] = true;
+    for (const AdjEntry& e : query.OutEdges(u)) ++conn[e.node];
+    for (const AdjEntry& e : query.InEdges(u)) ++conn[e.node];
+  };
+  NodeId first = 0;
+  for (NodeId u = 1; u < nq; ++u) {
+    if (cand_size(u) < cand_size(first)) first = u;
+  }
+  place(first);
+  while (ctx->order.size() < nq) {
+    NodeId best = kInvalidNode;
+    for (NodeId u = 0; u < nq; ++u) {
+      if (placed[u]) continue;
+      if (best == kInvalidNode || conn[u] > conn[best] ||
+          (conn[u] == conn[best] && cand_size(u) < cand_size(best))) {
+        best = u;
+      }
+    }
+    place(best);
+  }
+}
+
+// suffix_best[i] = maximum total similarity attainable by query nodes
+// order[i..]; candidates are sorted by descending sim, so entry 0 is each
+// node's optimum.
+void BuildSuffixBounds(SearchContext* ctx) {
+  size_t nq = ctx->order.size();
+  ctx->suffix_best.assign(nq + 1, 0.0);
+  for (size_t i = nq; i > 0; --i) {
+    ctx->suffix_best[i - 1] =
+        ctx->suffix_best[i] + ctx->candidates[ctx->order[i - 1]][0].sim;
+  }
+}
+
+// Backtracking searcher for the subtrees rooted at single candidates of
+// the first order node.  One instance per worker thread; the per-depth
+// buffers (assign_, used_, pool_) are allocated once and reused across
+// every root the worker processes, so the hot path never allocates.
 class Searcher {
  public:
-  Searcher(const Graph& query, const Graph& target,
-           const std::vector<std::vector<Candidate>>& candidates,
-           const QueryOptions& options, KMatchStats* stats)
-      : query_(query),
-        target_(target),
-        candidates_(candidates),
-        options_(options),
-        stats_(stats) {}
+  explicit Searcher(const SearchContext& ctx) : ctx_(ctx) {
+    assign_.assign(ctx_.query.num_nodes(), kInvalidNode);
+    used_.assign(ctx_.target.num_nodes(), false);
+  }
 
-  std::vector<Match> Run() {
-    size_t nq = query_.num_nodes();
-    OSQ_CHECK(candidates_.size() == nq);
-    for (NodeId u = 0; u < nq; ++u) {
-      if (candidates_[u].empty()) return {};
+  // Explores the subtree that maps order[0] to root candidate `root`.
+  // `seed` primes the pruning pool (matches already found by the first
+  // partition); it must not contain matches from this subtree.  Results
+  // are left in pool() — seed entries plus this subtree's finds, sorted by
+  // MatchBetter and trimmed to K (k == 0 keeps everything unsorted).
+  void SearchRoot(size_t root, const std::vector<Match>& seed) {
+    pool_ = seed;
+    steps_ = 0;
+    found_ = 0;
+    truncated_ = false;
+
+    const Candidate& c = ctx_.candidates[ctx_.order[0]][root];
+    ++steps_;
+    double bound = c.sim + ctx_.suffix_best[1];
+    if (HaveK() && bound <= Threshold() + kScoreEps) return;
+    NodeId q = ctx_.order[0];
+    if (!Consistent(q, c.node, 0)) return;
+    assign_[q] = c.node;
+    used_[c.node] = true;
+    Recurse(1, c.sim);
+    used_[c.node] = false;
+    assign_[q] = kInvalidNode;
+  }
+
+  const std::vector<Match>& pool() const { return pool_; }
+  size_t steps() const { return steps_; }
+  size_t found() const { return found_; }
+  bool truncated() const { return truncated_; }
+
+  // Moves the pool entries this subtree discovered (those mapping order[0]
+  // to `root_node`) into `out`, preserving pool order.
+  void ExtractOwn(NodeId root_node, std::vector<Match>* out) {
+    NodeId first = ctx_.order[0];
+    for (Match& m : pool_) {
+      if (m.mapping[first] == root_node) out->push_back(std::move(m));
     }
-    BuildOrder();
-    BuildSuffixBounds();
-    assign_.assign(nq, kInvalidNode);
-    used_.assign(target_.num_nodes(), false);
-    Recurse(0, 0.0);
-    if (options_.k == 0) {
-      std::sort(results_.begin(), results_.end(), MatchBetter());
-    }
-    if (stats_ != nullptr) {
-      stats_->search_steps = steps_;
-      stats_->matches_found = found_;
-      stats_->truncated = truncated_;
-    }
-    return std::move(results_);
   }
 
  private:
-  // Query-node matching order: start at the node with the fewest
-  // candidates, then greedily extend by (most assigned neighbors, fewest
-  // candidates) so partial assignments stay connected and constrained.
-  void BuildOrder() {
-    size_t nq = query_.num_nodes();
-    std::vector<bool> placed(nq, false);
-    order_.clear();
-    order_.reserve(nq);
-    auto cand_size = [&](NodeId u) { return candidates_[u].size(); };
-    NodeId first = 0;
-    for (NodeId u = 1; u < nq; ++u) {
-      if (cand_size(u) < cand_size(first)) first = u;
-    }
-    order_.push_back(first);
-    placed[first] = true;
-    while (order_.size() < nq) {
-      NodeId best = kInvalidNode;
-      size_t best_conn = 0;
-      for (NodeId u = 0; u < nq; ++u) {
-        if (placed[u]) continue;
-        size_t conn = 0;
-        for (const AdjEntry& e : query_.OutEdges(u)) {
-          if (placed[e.node]) ++conn;
-        }
-        for (const AdjEntry& e : query_.InEdges(u)) {
-          if (placed[e.node]) ++conn;
-        }
-        if (best == kInvalidNode || conn > best_conn ||
-            (conn == best_conn && cand_size(u) < cand_size(best))) {
-          best = u;
-          best_conn = conn;
-        }
-      }
-      order_.push_back(best);
-      placed[best] = true;
-    }
-  }
-
-  // suffix_best_[i] = maximum total similarity attainable by query nodes
-  // order_[i..]; candidates are sorted by descending sim, so entry 0 is
-  // each node's optimum.
-  void BuildSuffixBounds() {
-    size_t nq = order_.size();
-    suffix_best_.assign(nq + 1, 0.0);
-    for (size_t i = nq; i > 0; --i) {
-      suffix_best_[i - 1] =
-          suffix_best_[i] + candidates_[order_[i - 1]][0].sim;
-    }
-  }
-
   // Edge-compatibility of mapping q -> v against every already-assigned
-  // query node, under the configured semantics.
+  // query node, under the configured semantics.  Allocation-free: compares
+  // label runs directly inside the sorted adjacency vectors.
   bool Consistent(NodeId q, NodeId v, size_t depth) const {
+    const Graph& query = ctx_.query;
+    const Graph& target = ctx_.target;
+    bool induced = ctx_.options.semantics == MatchSemantics::kInduced;
     for (size_t i = 0; i < depth; ++i) {
-      NodeId q2 = order_[i];
+      NodeId q2 = ctx_.order[i];
       NodeId v2 = assign_[q2];
-      std::vector<LabelId> q_fwd = query_.EdgeLabelsBetween(q, q2);
-      std::vector<LabelId> d_fwd = target_.EdgeLabelsBetween(v, v2);
-      std::vector<LabelId> q_bwd = query_.EdgeLabelsBetween(q2, q);
-      std::vector<LabelId> d_bwd = target_.EdgeLabelsBetween(v2, v);
-      if (options_.semantics == MatchSemantics::kInduced) {
-        if (q_fwd != d_fwd || q_bwd != d_bwd) return false;
-      } else {
-        if (!std::includes(d_fwd.begin(), d_fwd.end(), q_fwd.begin(),
-                           q_fwd.end()) ||
-            !std::includes(d_bwd.begin(), d_bwd.end(), q_bwd.begin(),
-                           q_bwd.end())) {
+      Graph::EdgeLabelView q_fwd = query.EdgeLabelRange(q, q2);
+      Graph::EdgeLabelView d_fwd = target.EdgeLabelRange(v, v2);
+      Graph::EdgeLabelView q_bwd = query.EdgeLabelRange(q2, q);
+      Graph::EdgeLabelView d_bwd = target.EdgeLabelRange(v2, v);
+      if (induced) {
+        if (!LabelsEqual(q_fwd, d_fwd) || !LabelsEqual(q_bwd, d_bwd)) {
           return false;
         }
+      } else if (!LabelsInclude(d_fwd, q_fwd) ||
+                 !LabelsInclude(d_bwd, q_bwd)) {
+        return false;
       }
     }
     // Self-loops must agree as well.
-    std::vector<LabelId> q_self = query_.EdgeLabelsBetween(q, q);
-    std::vector<LabelId> d_self = target_.EdgeLabelsBetween(v, v);
-    if (options_.semantics == MatchSemantics::kInduced) {
-      return q_self == d_self;
-    }
-    return std::includes(d_self.begin(), d_self.end(), q_self.begin(),
-                         q_self.end());
+    Graph::EdgeLabelView q_self = query.EdgeLabelRange(q, q);
+    Graph::EdgeLabelView d_self = target.EdgeLabelRange(v, v);
+    return induced ? LabelsEqual(q_self, d_self)
+                   : LabelsInclude(d_self, q_self);
   }
 
   bool HaveK() const {
-    return options_.k > 0 && results_.size() == options_.k;
+    return ctx_.options.k > 0 && pool_.size() == ctx_.options.k;
   }
 
-  double Threshold() const { return results_.back().score; }
+  double Threshold() const { return pool_.back().score; }
 
   void Record(double score) {
     ++found_;
     Match m;
-    m.mapping.assign(query_.num_nodes(), kInvalidNode);
-    for (size_t i = 0; i < order_.size(); ++i) {
-      m.mapping[order_[i]] = assign_[order_[i]];
+    m.mapping.assign(ctx_.query.num_nodes(), kInvalidNode);
+    for (size_t i = 0; i < ctx_.order.size(); ++i) {
+      m.mapping[ctx_.order[i]] = assign_[ctx_.order[i]];
     }
     m.score = score;
-    if (options_.k == 0) {
-      // Enumerating everything: append now, sort once in Run().
-      results_.push_back(std::move(m));
+    if (ctx_.options.k == 0) {
+      // Enumerating everything: append now, sort once at the end.
+      pool_.push_back(std::move(m));
       return;
     }
-    auto pos = std::upper_bound(results_.begin(), results_.end(), m,
-                                MatchBetter());
-    results_.insert(pos, std::move(m));
-    if (results_.size() > options_.k) {
-      results_.pop_back();
+    auto pos = std::upper_bound(pool_.begin(), pool_.end(), m, MatchBetter());
+    pool_.insert(pos, std::move(m));
+    if (pool_.size() > ctx_.options.k) {
+      pool_.pop_back();
     }
   }
 
   void Recurse(size_t depth, double score) {
     if (truncated_) return;
     ++steps_;
-    if (options_.max_search_steps > 0 && steps_ > options_.max_search_steps) {
+    if (ctx_.options.max_search_steps > 0 &&
+        steps_ > ctx_.options.max_search_steps) {
       truncated_ = true;
       return;
     }
-    if (depth == order_.size()) {
+    if (depth == ctx_.order.size()) {
       Record(score);
       return;
     }
-    NodeId q = order_[depth];
-    for (const Candidate& c : candidates_[q]) {
-      double bound = score + c.sim + suffix_best_[depth + 1];
+    NodeId q = ctx_.order[depth];
+    for (const Candidate& c : ctx_.candidates[q]) {
+      double bound = score + c.sim + ctx_.suffix_best[depth + 1];
       // Candidates are sorted by sim, so all later bounds are worse.  Once
       // K matches are held, a branch that cannot STRICTLY beat the current
       // K-th score is abandoned: ties beyond the K-th are interchangeable
@@ -188,21 +240,27 @@ class Searcher {
     }
   }
 
-  const Graph& query_;
-  const Graph& target_;
-  const std::vector<std::vector<Candidate>>& candidates_;
-  QueryOptions options_;
-  KMatchStats* stats_;
-
-  std::vector<NodeId> order_;
-  std::vector<double> suffix_best_;
+  const SearchContext& ctx_;
   std::vector<NodeId> assign_;
   std::vector<bool> used_;
-  std::vector<Match> results_;  // kept sorted by MatchBetter, size <= k
+  std::vector<Match> pool_;  // kept sorted by MatchBetter when k > 0
   size_t steps_ = 0;
   size_t found_ = 0;
   bool truncated_ = false;
 };
+
+// Merges `own` (sorted by MatchBetter) into `best` (likewise sorted),
+// trimming to K.  Mappings from different root partitions are distinct, so
+// no dedup is needed.  TopK-by-total-order is associative and commutative,
+// which is what makes the final pool independent of commit order.
+void MergeTopK(std::vector<Match>* best, std::vector<Match>&& own, size_t k) {
+  size_t mid = best->size();
+  best->insert(best->end(), std::make_move_iterator(own.begin()),
+               std::make_move_iterator(own.end()));
+  std::inplace_merge(best->begin(), best->begin() + mid, best->end(),
+                     MatchBetter());
+  if (k > 0 && best->size() > k) best->resize(k);
+}
 
 }  // namespace
 
@@ -214,8 +272,103 @@ std::vector<Match> KMatchOnGraph(
     *stats = KMatchStats();
   }
   if (query.empty()) return {};
-  Searcher searcher(query, target, candidates, options, stats);
-  return searcher.Run();
+  size_t nq = query.num_nodes();
+  OSQ_CHECK(candidates.size() == nq);
+  for (NodeId u = 0; u < nq; ++u) {
+    if (candidates[u].empty()) return {};
+  }
+
+  SearchContext ctx{query, target, candidates, options, {}, {}};
+  BuildOrder(&ctx);
+  BuildSuffixBounds(&ctx);
+  const std::vector<Candidate>& roots = candidates[ctx.order[0]];
+  size_t num_roots = roots.size();
+
+  std::atomic<size_t> total_steps{0};
+  std::atomic<size_t> total_found{0};
+  std::atomic<bool> any_truncated{false};
+  std::atomic<size_t> skipped{0};
+
+  // Root partition 0 runs first on the calling thread; its pool seeds the
+  // pruning threshold of every other partition.  The seed is the ONLY
+  // cross-partition state a subtree search reads, and it is computed
+  // deterministically, so each partition's result is a pure function of
+  // the query — independent of thread count and scheduling.
+  Searcher first_searcher(ctx);
+  first_searcher.SearchRoot(0, {});
+  total_steps += first_searcher.steps();
+  total_found += first_searcher.found();
+  if (first_searcher.truncated()) any_truncated = true;
+
+  std::vector<Match> best;
+  first_searcher.ExtractOwn(roots[0].node, &best);
+  std::vector<Match> seed;
+  if (options.k > 0) seed = best;  // already sorted, size <= k
+
+  // Shared top-K pool (lock-protected) and an atomic score threshold for
+  // cross-worker pruning.  The threshold is applied STRICTLY (bound must
+  // fall below it by more than kScoreEps) so a skip can only discard
+  // matches that score strictly below the final K-th best — under the
+  // MatchBetter total order those never appear in the output, which keeps
+  // the result bit-identical for every thread count even though the set
+  // of skipped partitions is timing-dependent.
+  std::mutex best_mu;
+  constexpr double kNoThreshold = -std::numeric_limits<double>::infinity();
+  std::atomic<double> threshold{kNoThreshold};
+  if (options.k > 0 && best.size() == options.k) {
+    threshold.store(best.back().score, std::memory_order_relaxed);
+  }
+
+  if (num_roots > 1) {
+    size_t threads = ResolveNumThreads(options.num_threads);
+    size_t workers = std::min(threads, num_roots - 1);
+    std::atomic<size_t> next_root{1};
+    ParallelFor(threads, workers, [&](size_t) {
+      Searcher searcher(ctx);
+      std::vector<Match> own;
+      for (size_t i = next_root.fetch_add(1); i < num_roots;
+           i = next_root.fetch_add(1)) {
+        if (options.k > 0) {
+          double bound = roots[i].sim + ctx.suffix_best[1];
+          if (bound < threshold.load(std::memory_order_relaxed) - kScoreEps) {
+            ++skipped;
+            continue;
+          }
+        }
+        searcher.SearchRoot(i, seed);
+        total_steps += searcher.steps();
+        total_found += searcher.found();
+        if (searcher.truncated()) any_truncated = true;
+        own.clear();
+        searcher.ExtractOwn(roots[i].node, &own);
+        if (own.empty()) continue;
+        if (options.k == 0) {
+          std::lock_guard<std::mutex> lock(best_mu);
+          best.insert(best.end(), std::make_move_iterator(own.begin()),
+                      std::make_move_iterator(own.end()));
+        } else {
+          std::lock_guard<std::mutex> lock(best_mu);
+          MergeTopK(&best, std::move(own), options.k);
+          if (best.size() == options.k) {
+            // Monotone under the lock: merges only ever raise the K-th.
+            threshold.store(best.back().score, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+
+  if (options.k == 0) {
+    std::sort(best.begin(), best.end(), MatchBetter());
+  }
+  if (stats != nullptr) {
+    stats->search_steps = total_steps.load();
+    stats->matches_found = total_found.load();
+    stats->truncated = any_truncated.load();
+    stats->root_partitions = num_roots;
+    stats->partitions_skipped = skipped.load();
+  }
+  return best;
 }
 
 std::vector<Match> KMatch(const Graph& query, const FilterResult& filter,

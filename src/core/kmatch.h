@@ -12,6 +12,16 @@
 //
 // Matching semantics follow QueryOptions::semantics; the paper's
 // definition (induced / "iff") is the default.
+//
+// With QueryOptions::num_threads > 1 the search is partitioned by the
+// candidates of the first order node: partition 0 runs first and seeds a
+// shared top-K pool, the remaining partitions run in parallel against that
+// fixed seed and commit into the lock-protected pool, and an atomic score
+// threshold skips partitions whose optimistic bound falls strictly below
+// the current K-th best.  Because subtree searches read no timing-dependent
+// state and skips only ever discard strictly-dominated matches, the match
+// set and scores are identical for every thread count (see DESIGN.md,
+// "Parallel execution").
 
 #ifndef OSQ_CORE_KMATCH_H_
 #define OSQ_CORE_KMATCH_H_
@@ -31,8 +41,17 @@ struct KMatchStats {
   size_t search_steps = 0;
   // Complete assignments that passed all checks.
   size_t matches_found = 0;
-  // True when max_search_steps stopped the enumeration early.
+  // True when max_search_steps stopped the enumeration early (any
+  // partition, under parallel execution).
   bool truncated = false;
+  // Candidates of the first order node, i.e. independently searchable
+  // subtrees.
+  size_t root_partitions = 0;
+  // Partitions skipped by the cross-worker score threshold without being
+  // searched.  Timing-dependent under num_threads > 1 (the skipped work
+  // could never affect the output; see kmatch.cc), so search_steps /
+  // matches_found may vary run to run even though results do not.
+  size_t partitions_skipped = 0;
 };
 
 // Enumerates the top-K matches of `query` inside the filter result

@@ -1,7 +1,11 @@
 #include "core/ontology_index.h"
 
+#include <optional>
+#include <utility>
+
 #include "common/check.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "ontology/ontology_partition.h"
 
 namespace osq {
@@ -33,16 +37,29 @@ OntologyIndex OntologyIndex::Build(const Graph& g, const OntologyGraph& o,
   cg_options.beta = options.beta;
   cg_options.edge_label_aware = options.edge_label_aware;
 
+  // Concept-label selection stays sequential so the RNG stream (and thus
+  // the built index) is identical for every thread count; the expensive
+  // per-partition ConceptGraph::Build calls then fan out, and stats merge
+  // in graph order.
+  size_t ng = options.num_concept_graphs;
+  std::vector<std::vector<LabelId>> concepts(ng);
+  for (size_t i = 0; i < ng; ++i) {
+    concepts[i] = SelectConceptLabels(o, index.sim_, options.beta,
+                                      options.num_clusters, &rng);
+  }
+  std::vector<std::optional<ConceptGraph>> graphs(ng);
+  std::vector<ConceptGraphStats> cg_stats(ng);
+  ParallelFor(options.num_threads, ng, [&](size_t i) {
+    graphs[i] = ConceptGraph::Build(g, o, index.sim_, cg_options,
+                                    std::move(concepts[i]), &cg_stats[i]);
+  });
+
   IndexBuildStats local;
-  for (size_t i = 0; i < options.num_concept_graphs; ++i) {
-    std::vector<LabelId> concepts = SelectConceptLabels(
-        o, index.sim_, options.beta, options.num_clusters, &rng);
-    ConceptGraphStats cg_stats;
-    index.graphs_.push_back(ConceptGraph::Build(
-        g, o, index.sim_, cg_options, std::move(concepts), &cg_stats));
-    local.total_blocks += cg_stats.final_blocks;
-    local.total_splits += cg_stats.splits;
-    local.per_graph.push_back(cg_stats);
+  for (size_t i = 0; i < ng; ++i) {
+    index.graphs_.push_back(std::move(*graphs[i]));
+    local.total_blocks += cg_stats[i].final_blocks;
+    local.total_splits += cg_stats[i].splits;
+    local.per_graph.push_back(cg_stats[i]);
   }
   for (NodeId v = 0; v < g.num_nodes(); ++v) {
     index.RegisterDataLabel(g.NodeLabel(v));

@@ -33,6 +33,8 @@ class OntologyIndex {
  public:
   // Builds the index.  `g` and `o` are borrowed and must outlive the index;
   // `g` may later be mutated only through the maintenance API.
+  // options.num_threads > 1 builds the concept graphs in parallel; the
+  // resulting index is identical for every thread count.
   static OntologyIndex Build(const Graph& g, const OntologyGraph& o,
                              const IndexOptions& options,
                              IndexBuildStats* stats = nullptr);

@@ -42,6 +42,12 @@ struct IndexOptions {
   // Build edge-label-aware concept graphs (ablation; default is the
   // paper's label-unaware index).
   bool edge_label_aware = false;
+  // Worker threads for concept-graph construction.  1 (default) builds
+  // sequentially; 0 means "all hardware threads".  The built index is
+  // identical for every value — concept-label selection stays sequential
+  // so the RNG stream is unchanged, and per-graph results merge in index
+  // order.
+  size_t num_threads = 1;
 };
 
 // Parameters of a single query evaluation.
@@ -58,8 +64,16 @@ struct QueryOptions {
   // (ablation knob; the paper's Gview uses the lazy strategy).
   bool lazy_candidates = true;
   // Safety valve for adversarial inputs: abort enumeration after this many
-  // backtracking steps (0 = unlimited).  Benches leave it unlimited.
+  // backtracking steps (0 = unlimited).  Benches leave it unlimited.  With
+  // parallel verification the budget applies to each root-candidate
+  // partition independently (keeping truncation deterministic), so the
+  // total step count may reach partitions * max_search_steps.
   size_t max_search_steps = 0;
+  // Worker threads for query evaluation (Gview filtering + KMatch
+  // verification).  1 (default) runs sequentially; 0 means "all hardware
+  // threads".  The match set and scores are identical for every value —
+  // see DESIGN.md, "Parallel execution".
+  size_t num_threads = 1;
 };
 
 }  // namespace osq

@@ -14,6 +14,7 @@
 #ifndef OSQ_GRAPH_GRAPH_H_
 #define OSQ_GRAPH_GRAPH_H_
 
+#include <algorithm>
 #include <cstddef>
 #include <vector>
 
@@ -97,6 +98,30 @@ class Graph {
 
   // Labels of all edges from `from` to `to`, ascending.  O(log + #labels).
   std::vector<LabelId> EdgeLabelsBetween(NodeId from, NodeId to) const;
+
+  // Contiguous run of adjacency entries for the edges from `from` to `to`
+  // (their .label fields are the ascending edge labels).  An allocation-free
+  // view into the sorted out-adjacency; invalidated by graph mutation.
+  // This is the verification hot path — KMatch calls it for every
+  // (candidate, assigned-node) pair.
+  struct EdgeLabelView {
+    const AdjEntry* first;
+    const AdjEntry* last;
+
+    size_t size() const { return static_cast<size_t>(last - first); }
+    bool empty() const { return first == last; }
+    const AdjEntry* begin() const { return first; }
+    const AdjEntry* end() const { return last; }
+  };
+  EdgeLabelView EdgeLabelRange(NodeId from, NodeId to) const {
+    const std::vector<AdjEntry>& adj = out_[from];
+    const AdjEntry* lo =
+        std::lower_bound(adj.data(), adj.data() + adj.size(),
+                         AdjEntry{to, 0});
+    const AdjEntry* hi = lo;
+    while (hi != adj.data() + adj.size() && hi->node == to) ++hi;
+    return {lo, hi};
+  }
 
   // Internal consistency check (out/in mirrors agree, sorted, counts
   // match).  Used by tests; O(|V| + |E| log |E|).

@@ -1,0 +1,104 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace osq {
+namespace {
+
+TEST(ThreadPoolTest, ZeroTasksIsANoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.ParallelFor(4, 0, [&](size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolTest, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  constexpr size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.ParallelFor(4, kN, [&](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ZeroWorkerPoolRunsOnCaller) {
+  ThreadPool pool(0);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::set<std::thread::id> ids;
+  std::mutex mu;
+  pool.ParallelFor(8, 16, [&](size_t) {
+    std::lock_guard<std::mutex> lock(mu);
+    ids.insert(std::this_thread::get_id());
+  });
+  EXPECT_EQ(ids, std::set<std::thread::id>{caller});
+}
+
+TEST(ThreadPoolTest, SingleThreadRequestRunsInline) {
+  ThreadPool pool(2);
+  const std::thread::id caller = std::this_thread::get_id();
+  pool.ParallelFor(1, 64, [&](size_t) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+  });
+}
+
+TEST(ThreadPoolTest, FirstExceptionPropagatesAndAllIndicesDrain) {
+  ThreadPool pool(2);
+  constexpr size_t kN = 200;
+  std::vector<std::atomic<int>> hits(kN);
+  EXPECT_THROW(
+      pool.ParallelFor(3, kN,
+                       [&](size_t i) {
+                         hits[i].fetch_add(1);
+                         if (i == 17) throw std::runtime_error("boom");
+                       }),
+      std::runtime_error);
+  // Even after the exception every index was claimed exactly once, so no
+  // task is left dangling in the pool.
+  for (size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, PoolIsReusableAfterException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.ParallelFor(3, 8,
+                                [](size_t) {
+                                  throw std::runtime_error("boom");
+                                }),
+               std::runtime_error);
+  std::atomic<size_t> count{0};
+  pool.ParallelFor(3, 100, [&](size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 100u);
+}
+
+TEST(ThreadPoolTest, NestedParallelForCompletes) {
+  ThreadPool pool(2);
+  std::atomic<size_t> inner_total{0};
+  // Inner calls from pool workers run inline (see thread_pool.h), so this
+  // must not deadlock even though outer tasks occupy every worker.
+  pool.ParallelFor(3, 4, [&](size_t) {
+    pool.ParallelFor(3, 10, [&](size_t) { inner_total.fetch_add(1); });
+  });
+  EXPECT_EQ(inner_total.load(), 40u);
+}
+
+TEST(ThreadPoolTest, SharedPoolWorks) {
+  std::atomic<size_t> count{0};
+  ParallelFor(4, 50, [&](size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 50u);
+}
+
+TEST(ResolveNumThreadsTest, LiteralAndAuto) {
+  EXPECT_EQ(ResolveNumThreads(3), 3u);
+  EXPECT_EQ(ResolveNumThreads(1), 1u);
+  EXPECT_GE(ResolveNumThreads(0), 1u);  // 0 = all hardware threads
+}
+
+}  // namespace
+}  // namespace osq

@@ -3,14 +3,17 @@
 //   osq_cli generate --type crossdomain --scale 5000 --seed 7 \
 //           --graph g.txt --ontology o.txt
 //   osq_cli index    --graph g.txt --ontology o.txt --out idx.txt \
-//           [--beta 0.81] [--n 2] [--seed 42]
+//           [--beta 0.81] [--n 2] [--seed 42] [--threads N]
 //   osq_cli query    --graph g.txt --ontology o.txt \
 //           --pattern '(t:tourists)-[guide]->(m:museum)' \
 //           [--index idx.txt] [--theta 0.9] [--k 10] [--explain] \
-//           [--semantics induced|homomorphic]
+//           [--semantics induced|homomorphic] [--threads N]
 //   osq_cli bench    --graph g.txt --ontology o.txt --queries q.txt
-//           [--theta 0.9] [--k 10] [--reps 3]
+//           [--theta 0.9] [--k 10] [--reps 3] [--threads N]
 //   osq_cli stats    --graph g.txt --ontology o.txt
+//
+// --threads N parallelizes index build and query evaluation over N threads
+// (0 = all hardware threads); results are identical for every N.
 //
 // Exit status: 0 on success, 1 on usage errors, 2 on runtime errors.
 
@@ -153,6 +156,7 @@ IndexOptions IndexOptionsFromFlags(const FlagMap& flags) {
   idx.seed = GetSize(flags, "seed", idx.seed);
   idx.similarity_base = GetDouble(flags, "base", idx.similarity_base);
   idx.edge_label_aware = GetFlag(flags, "edge-label-aware", "0") == "1";
+  idx.num_threads = GetSize(flags, "threads", idx.num_threads);
   return idx;
 }
 
@@ -194,6 +198,7 @@ int CmdQuery(const FlagMap& flags) {
   QueryOptions options;
   options.theta = GetDouble(flags, "theta", options.theta);
   options.k = GetSize(flags, "k", options.k);
+  options.num_threads = GetSize(flags, "threads", options.num_threads);
   std::string semantics = GetFlag(flags, "semantics", "induced");
   if (semantics == "homomorphic") {
     options.semantics = MatchSemantics::kHomomorphicEdges;
@@ -269,6 +274,7 @@ int CmdBench(const FlagMap& flags) {
   QueryOptions options;
   options.theta = GetDouble(flags, "theta", options.theta);
   options.k = GetSize(flags, "k", options.k);
+  options.num_threads = GetSize(flags, "threads", options.num_threads);
   size_t reps = GetSize(flags, "reps", 3);
 
   std::printf("%-6s %10s %10s %10s %10s\n", "query", "ms", "|Gv|",

@@ -1,0 +1,184 @@
+// Closed-loop serving benchmark for QueryService (serve/query_service.h).
+//
+// Drives the CrossDomain-like workload through three phases and reports
+// per-request latency for each:
+//   cold   — one thread, every distinct query once (all cache misses);
+//   hot    — --threads closed-loop reader threads replaying the same
+//            query set (all cache hits after the first lap);
+//   mixed  — the same readers with a writer thread toggling an edge
+//            update every --update-interval-ms, exercising snapshot
+//            isolation and cache invalidation under load.
+//
+//   bench_serve [--threads 4] [--iterations 300] [--json BENCH_serve.json]
+//
+// The JSON rows track the serving trajectory across commits; the `hot`
+// row carries speedup_cold_over_hit = cold / hot mean latency (the
+// ISSUE-3 acceptance bar is >= 10).  OSQ_BENCH_SCALE scales the dataset.
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/thread_pool.h"
+#include "core/index_maintenance.h"
+#include "core/query_engine.h"
+#include "gen/workload.h"
+#include "serve/query_service.h"
+
+namespace osq {
+namespace {
+
+using bench::ArgSize;
+using bench::ArgValue;
+using bench::JsonReport;
+using bench::PrintNote;
+using bench::PrintTitle;
+using bench::Scaled;
+
+struct PhaseResult {
+  double mean_us = 0.0;
+  uint64_t requests = 0;
+};
+
+// Sums ServedResult::serve_us over everything the phase issued, so each
+// phase's number is independent of the service's cumulative histograms.
+PhaseResult RunReaders(QueryService* service,
+                       const std::vector<Graph>& queries,
+                       const QueryOptions& options, size_t threads,
+                       size_t iterations,
+                       const std::atomic<bool>* stop = nullptr) {
+  std::vector<double> total_us(threads, 0.0);
+  std::vector<uint64_t> count(threads, 0);
+  RunConcurrently(threads, [&](size_t tid) {
+    for (size_t it = 0; it < iterations; ++it) {
+      if (stop != nullptr && stop->load(std::memory_order_acquire)) break;
+      // Stagger starting offsets so threads do not lock-step on one key.
+      const Graph& q = queries[(it + tid * 7) % queries.size()];
+      ServedResult served = service->Query(q, options);
+      total_us[tid] += served.serve_us;
+      ++count[tid];
+    }
+  });
+  PhaseResult r;
+  for (size_t t = 0; t < threads; ++t) {
+    r.mean_us += total_us[t];
+    r.requests += count[t];
+  }
+  if (r.requests > 0) r.mean_us /= static_cast<double>(r.requests);
+  return r;
+}
+
+}  // namespace
+
+int Main(int argc, char** argv) {
+  size_t threads = ArgSize(argc, argv, "--threads", 4);
+  size_t iterations = ArgSize(argc, argv, "--iterations", 300);
+  size_t update_interval_ms =
+      ArgSize(argc, argv, "--update-interval-ms", 2);
+  std::string json_path = ArgValue(argc, argv, "--json", "BENCH_serve.json");
+
+  PrintTitle("serve: QueryService closed-loop (CrossDomain-like)");
+  gen::ScenarioParams params;
+  params.scale = Scaled(1500);
+  params.seed = 7;
+  gen::Workload workload = gen::MakeCrossDomainWorkload(params, 6);
+  std::vector<Graph> queries;
+  for (const gen::QueryTemplate& t : workload.templates) {
+    for (const Graph& q : t.queries) queries.push_back(q);
+  }
+  std::printf("dataset: %zu nodes, %zu edges; %zu distinct queries; "
+              "%zu reader threads\n",
+              workload.data.graph.num_nodes(),
+              workload.data.graph.num_edges(), queries.size(), threads);
+
+  WallTimer build_timer;
+  QueryService service(
+      QueryEngine(std::move(workload.data.graph),
+                  std::move(workload.data.ontology), IndexOptions{}),
+      ServeOptions{});
+  std::printf("index built in %.1f ms\n", build_timer.ElapsedMillis());
+
+  QueryOptions options;
+  options.theta = 0.9;
+  options.k = 10;
+
+  JsonReport report;
+
+  // ---- cold: every distinct query once, single thread ------------------
+  PhaseResult cold = RunReaders(&service, queries, options, 1,
+                                queries.size());
+  std::printf("cold:  %6zu requests, mean %9.1f us/query\n",
+              static_cast<size_t>(cold.requests), cold.mean_us);
+  report.Add("cold", cold.mean_us / 1000.0, 1);
+
+  // ---- hot: closed loop over the now-cached set ------------------------
+  PhaseResult hot =
+      RunReaders(&service, queries, options, threads, iterations);
+  double speedup = hot.mean_us > 0.0 ? cold.mean_us / hot.mean_us : 0.0;
+  std::printf("hot:   %6zu requests, mean %9.1f us/query "
+              "(cold/hot speedup %.1fx)\n",
+              static_cast<size_t>(hot.requests), hot.mean_us, speedup);
+  report.Add("hot", hot.mean_us / 1000.0, threads,
+             {{"speedup_cold_over_hit", speedup}});
+
+  // ---- mixed: readers + one writer toggling an edge --------------------
+  std::vector<EdgeTriple> edges =
+      service.engine_unsynchronized().graph().EdgeList();
+  std::atomic<bool> stop{false};
+  PhaseResult mixed;
+  uint64_t toggles = 0;
+  {
+    EdgeTriple e = edges.front();
+    std::thread writer([&] {
+      // Toggle until the readers finish; delete/insert restores state.
+      while (!stop.load(std::memory_order_acquire)) {
+        GraphUpdate update =
+            toggles % 2 == 0
+                ? GraphUpdate::Delete(e.from, e.to, e.label)
+                : GraphUpdate::Insert(e.from, e.to, e.label);
+        service.ApplyUpdate(update);
+        ++toggles;
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(update_interval_ms));
+      }
+      if (toggles % 2 == 1) {  // leave the graph as we found it
+        service.ApplyUpdate(GraphUpdate::Insert(e.from, e.to, e.label));
+        ++toggles;
+      }
+    });
+    mixed = RunReaders(&service, queries, options, threads, iterations);
+    stop.store(true, std::memory_order_release);
+    writer.join();
+  }
+  ServeStats stats = service.Stats();
+  double hit_rate =
+      stats.queries > 0
+          ? static_cast<double>(stats.cache_hits) /
+                static_cast<double>(stats.queries)
+          : 0.0;
+  std::printf("mixed: %6zu requests, mean %9.1f us/query "
+              "(%llu update batches)\n",
+              static_cast<size_t>(mixed.requests), mixed.mean_us,
+              static_cast<unsigned long long>(toggles));
+  report.Add("mixed", mixed.mean_us / 1000.0, threads,
+             {{"update_batches", static_cast<double>(toggles)},
+              {"overall_hit_rate", hit_rate}});
+
+  PrintTitle("serve: cumulative service stats");
+  std::fputs(stats.ToString().c_str(), stdout);
+  PrintNote(speedup >= 10.0
+                ? "acceptance: cache-hit latency >= 10x below cold — OK"
+                : "acceptance: cache-hit speedup below 10x — REGRESSION");
+
+  if (!json_path.empty()) report.WriteTo(json_path);
+  return speedup >= 10.0 ? 0 : 1;
+}
+
+}  // namespace osq
+
+int main(int argc, char** argv) { return osq::Main(argc, argv); }

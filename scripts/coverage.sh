@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Line-coverage report for the query core and the serving layer.
+#
+# Builds an instrumented tree (OSQ_COVERAGE=ON) in build-cov/, runs the
+# full ctest suite, and reports line coverage for src/core/ and src/serve/.
+# Uses gcovr when available (text + build-cov/coverage.xml for CI);
+# otherwise falls back to a per-file gcov summary — no extra dependency
+# required.
+#
+# Usage: scripts/coverage.sh [extra cmake args...]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== coverage: instrumented build + ctest =="
+cmake -B build-cov -S . -DOSQ_COVERAGE=ON -DCMAKE_BUILD_TYPE=Debug \
+  -DOSQ_BUILD_BENCHMARKS=OFF -DOSQ_BUILD_EXAMPLES=OFF "$@"
+cmake --build build-cov -j
+ctest --test-dir build-cov --output-on-failure -j
+
+echo "== coverage: src/core + src/serve =="
+if command -v gcovr >/dev/null 2>&1; then
+  gcovr --root . --filter 'src/core/.*' --filter 'src/serve/.*' \
+    --print-summary --xml build-cov/coverage.xml build-cov
+else
+  echo "(gcovr not found; falling back to plain gcov per-file summary)"
+  tmp=$(mktemp -d)
+  repo=$PWD
+  (
+    cd "$tmp"
+    # CMake names counter files <src>.cc.gcno; gcov resolves them when
+    # given the .gcno path directly (--object-directory does not).
+    find "$repo/build-cov/src" \
+      \( -path '*/core/*.gcno' -o -path '*/serve/*.gcno' \) \
+      -exec gcov {} + 2>/dev/null || true
+  ) | grep -A1 -E "^File '.*src/(core|serve)/" | grep -v '^--$'
+  rm -rf "$tmp"
+fi
+
+echo "coverage OK"

@@ -1,22 +1,30 @@
 #!/usr/bin/env bash
 # Tier-1 verification: full build + test suite, then the concurrency tests
 # again under ThreadSanitizer (OSQ_SANITIZE=thread) so data races in the
-# parallel pipelines fail the build gate, not a user's query.
+# parallel pipelines and the serving layer fail the build gate, not a
+# user's query.
+#
+# The ctest run is split by the `slow` label: the fast suite first (quick
+# signal), then the slow randomized/differential/stress suites.
 #
 # Usage: scripts/tier1.sh [extra cmake args...]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== tier-1: build + ctest =="
+echo "== tier-1: build + ctest (fast suite) =="
 cmake -B build -S . "$@"
 cmake --build build -j
-ctest --test-dir build --output-on-failure -j
+ctest --test-dir build --output-on-failure -j -LE slow
+
+echo "== tier-1: ctest (slow suite: differential + stress) =="
+ctest --test-dir build --output-on-failure -j -L slow
 
 echo "== tier-1: concurrency tests under ThreadSanitizer =="
 cmake -B build-tsan -S . -DOSQ_SANITIZE=thread \
   -DOSQ_BUILD_BENCHMARKS=OFF -DOSQ_BUILD_EXAMPLES=OFF "$@"
-cmake --build build-tsan -j --target thread_pool_test parallel_determinism_test
+cmake --build build-tsan -j --target thread_pool_test \
+  parallel_determinism_test query_service_stress_test
 ctest --test-dir build-tsan --output-on-failure \
-  -R 'ThreadPoolTest|ResolveNumThreadsTest|ParallelDeterminismTest'
+  -R 'ThreadPoolTest|ResolveNumThreadsTest|ParallelDeterminismTest|QueryServiceStressTest'
 
 echo "tier-1 OK"

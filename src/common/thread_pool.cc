@@ -140,4 +140,24 @@ void ParallelFor(size_t num_threads, size_t n,
   ThreadPool::Shared().ParallelFor(ResolveNumThreads(num_threads), n, fn);
 }
 
+void RunConcurrently(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  std::mutex mu;
+  std::exception_ptr error;  // first exception wins
+  std::vector<std::thread> threads;
+  threads.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    threads.emplace_back([i, &fn, &mu, &error] {
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu);
+        if (!error) error = std::current_exception();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  if (error) std::rethrow_exception(error);
+}
+
 }  // namespace osq

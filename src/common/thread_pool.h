@@ -75,6 +75,16 @@ size_t ResolveNumThreads(size_t requested);
 void ParallelFor(size_t num_threads, size_t n,
                  const std::function<void(size_t)>& fn);
 
+// Spawns `n` dedicated threads running fn(0) .. fn(n-1) concurrently and
+// joins them all; the first exception thrown by any fn is rethrown on the
+// caller after every thread finished.  Unlike ParallelFor — work-sharing
+// of short data-parallel shards on the process-wide pool — this gives
+// every fn its own thread for its whole lifetime, which is what
+// long-running concurrent actors need: closed-loop load generators and
+// the reader/writer threads of the serving stress tests.  n == 0 is a
+// no-op; n == 1 still spawns (the actor may block indefinitely).
+void RunConcurrently(size_t n, const std::function<void(size_t)>& fn);
+
 }  // namespace osq
 
 #endif  // OSQ_COMMON_THREAD_POOL_H_

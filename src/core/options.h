@@ -76,6 +76,18 @@ struct QueryOptions {
   size_t num_threads = 1;
 };
 
+// Parameters of the concurrent serving layer (serve/query_service.h).
+struct ServeOptions {
+  // Capacity (entries) of the versioned LRU result cache keyed by
+  // QuerySignature; 0 disables caching entirely.  Each entry stores one
+  // full QueryResult, so memory is bounded by capacity * k matches.
+  size_t cache_capacity = 256;
+  // Also cache QueryResults whose status is non-OK (rejected queries).
+  // They are deterministic too, but a stream of distinct malformed
+  // queries would evict useful entries, so default off.
+  bool cache_errors = false;
+};
+
 }  // namespace osq
 
 #endif  // OSQ_CORE_OPTIONS_H_

@@ -50,15 +50,21 @@ QueryResult QueryEngine::QueryPattern(std::string_view pattern,
 
 bool QueryEngine::ApplyUpdate(const GraphUpdate& update,
                               MaintenanceStats* stats) {
-  return osq::ApplyUpdate(graph_.get(), index_.get(), update, stats);
+  bool applied = osq::ApplyUpdate(graph_.get(), index_.get(), update, stats);
+  if (applied) ++version_;
+  return applied;
 }
 
 MaintenanceStats QueryEngine::ApplyUpdates(
     const std::vector<GraphUpdate>& updates) {
-  return osq::ApplyUpdates(graph_.get(), index_.get(), updates);
+  MaintenanceStats stats =
+      osq::ApplyUpdates(graph_.get(), index_.get(), updates);
+  if (stats.applied > 0) ++version_;
+  return stats;
 }
 
 NodeId QueryEngine::AddNode(LabelId label) {
+  ++version_;
   return AddNodeWithIndex(graph_.get(), index_.get(), label);
 }
 

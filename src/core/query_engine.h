@@ -16,6 +16,7 @@
 #ifndef OSQ_CORE_QUERY_ENGINE_H_
 #define OSQ_CORE_QUERY_ENGINE_H_
 
+#include <cstdint>
 #include <memory>
 #include <string_view>
 #include <vector>
@@ -77,14 +78,23 @@ class QueryEngine {
   MaintenanceStats ApplyUpdates(const std::vector<GraphUpdate>& updates);
   NodeId AddNode(LabelId label);
 
+  // Monotone mutation counter: starts at 0 and advances by one for every
+  // mutating call that changed the graph (an ApplyUpdates batch counts
+  // once, no matter how many updates it contains; no-op calls do not
+  // count).  The serving layer uses it as the snapshot version for cache
+  // invalidation (serve/query_service.h).
+  uint64_t version() const { return version_; }
+
  private:
   // unique_ptr keeps the graphs' addresses stable across engine moves; the
-  // index holds raw pointers into them.
+  // index holds raw pointers into them, so moved engines (including
+  // move-assignment) keep a valid index — pinned by a regression test.
   std::unique_ptr<Graph> graph_;
   std::unique_ptr<OntologyGraph> ontology_;
   std::unique_ptr<OntologyIndex> index_;
   IndexBuildStats build_stats_;
   double index_build_ms_ = 0.0;
+  uint64_t version_ = 0;
 };
 
 }  // namespace osq

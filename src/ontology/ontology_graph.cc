@@ -18,6 +18,34 @@ const std::vector<LabelId>& EmptyNeighbors() {
   return *kEmpty;
 }
 
+// Per-thread epoch-stamped visited set shared by all OntologyGraph
+// instances.  Bumping the epoch invalidates every stale mark — including
+// marks left by a *different* instance — so buffers never need clearing
+// (except on the rare epoch wrap) and concurrent const BFS calls from
+// different threads cannot interfere.
+struct VisitScratch {
+  std::vector<uint32_t> mark;
+  uint32_t epoch = 0;
+};
+
+VisitScratch& BeginVisit(size_t universe_size) {
+  static thread_local VisitScratch scratch;
+  if (scratch.mark.size() < universe_size) {
+    scratch.mark.resize(universe_size, 0);
+  }
+  if (++scratch.epoch == 0) {  // epoch wrapped: clear once, restart at 1
+    std::fill(scratch.mark.begin(), scratch.mark.end(), 0);
+    scratch.epoch = 1;
+  }
+  return scratch;
+}
+
+bool MarkVisited(VisitScratch& scratch, LabelId l) {
+  if (scratch.mark[l] == scratch.epoch) return false;
+  scratch.mark[l] = scratch.epoch;
+  return true;
+}
+
 }  // namespace
 
 void OntologyGraph::AddLabel(LabelId label) {
@@ -68,22 +96,6 @@ std::vector<LabelId> OntologyGraph::Labels() const {
   return labels;
 }
 
-void OntologyGraph::BeginVisit() const {
-  if (visit_mark_.size() < present_.size()) {
-    visit_mark_.resize(present_.size(), 0);
-  }
-  if (++visit_epoch_ == 0) {  // epoch wrapped: clear once, restart at 1
-    std::fill(visit_mark_.begin(), visit_mark_.end(), 0);
-    visit_epoch_ = 1;
-  }
-}
-
-bool OntologyGraph::MarkVisited(LabelId l) const {
-  if (visit_mark_[l] == visit_epoch_) return false;
-  visit_mark_[l] = visit_epoch_;
-  return true;
-}
-
 uint32_t OntologyGraph::Distance(LabelId a, LabelId b,
                                  uint32_t max_distance) const {
   if (a == b) return 0;
@@ -91,16 +103,16 @@ uint32_t OntologyGraph::Distance(LabelId a, LabelId b,
     return kInfiniteDistance;
   }
   if (max_distance == 0) return kInfiniteDistance;
-  BeginVisit();
+  VisitScratch& scratch = BeginVisit(present_.size());
   std::deque<LabelDistance> queue;
-  MarkVisited(a);
+  MarkVisited(scratch, a);
   queue.push_back({a, 0});
   while (!queue.empty()) {
     LabelDistance cur = queue.front();
     queue.pop_front();
     if (cur.distance >= max_distance) continue;
     for (LabelId next : adj_[cur.label]) {
-      if (!MarkVisited(next)) continue;
+      if (!MarkVisited(scratch, next)) continue;
       if (next == b) return cur.distance + 1;
       queue.push_back({next, cur.distance + 1});
     }
@@ -114,15 +126,15 @@ std::vector<LabelDistance> OntologyGraph::BallAround(
   if (!ContainsLabel(source)) {
     return ball;
   }
-  BeginVisit();
-  MarkVisited(source);
+  VisitScratch& scratch = BeginVisit(present_.size());
+  MarkVisited(scratch, source);
   ball.push_back({source, 0});
   size_t head = 0;
   while (head < ball.size()) {
     LabelDistance cur = ball[head++];
     if (cur.distance >= max_distance) continue;
     for (LabelId next : adj_[cur.label]) {
-      if (!MarkVisited(next)) continue;
+      if (!MarkVisited(scratch, next)) continue;
       ball.push_back({next, cur.distance + 1});
     }
   }

@@ -63,11 +63,12 @@ class OntologyGraph {
   // Hop distance from `a` to `b`, or kInfiniteDistance if it exceeds
   // `max_distance` (or either endpoint is not an ontology node).
   //
-  // Thread-compatibility note: Distance and BallAround reuse an internal
+  // Thread-safety note: Distance and BallAround reuse a thread_local
   // epoch-stamped scratch buffer to avoid per-call allocation (they are
-  // the engine's hottest primitives).  Concurrent calls on the SAME
-  // OntologyGraph instance therefore require external synchronization;
-  // distinct instances are independent.
+  // the engine's hottest primitives).  Because the scratch is per-thread,
+  // concurrent const calls — even on the SAME instance — are safe as long
+  // as no thread mutates the ontology at the same time.  QueryService
+  // relies on this for shared-lock readers.
   uint32_t Distance(LabelId a, LabelId b, uint32_t max_distance) const;
 
   // All labels within `max_distance` hops of `source` (including source at
@@ -76,19 +77,12 @@ class OntologyGraph {
                                         uint32_t max_distance) const;
 
  private:
-  // Starts a new visited-set generation; MarkVisited then answers "first
-  // time seen this generation?" in O(1) without clearing the buffer.
-  void BeginVisit() const;
-  bool MarkVisited(LabelId l) const;
   // Adjacency indexed directly by LabelId; slots for non-ontology labels
   // (e.g. edge labels in the shared dictionary) stay empty.
   std::vector<std::vector<LabelId>> adj_;
   std::vector<bool> present_;
   size_t num_labels_ = 0;
   size_t num_relations_ = 0;
-  // Scratch for BFS (see thread-compatibility note above).
-  mutable std::vector<uint32_t> visit_mark_;
-  mutable uint32_t visit_epoch_ = 0;
 };
 
 // Text persistence in the graph_io format ("v <id> <label>" declares an

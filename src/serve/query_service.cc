@@ -1,0 +1,129 @@
+#include "serve/query_service.h"
+
+#include <mutex>
+#include <utility>
+
+#include "common/timer.h"
+
+namespace osq {
+
+namespace {
+
+uint64_t TenthUs(double us) {
+  return us > 0.0 ? static_cast<uint64_t>(us * 10.0) : 0;
+}
+
+}  // namespace
+
+QueryService::QueryService(QueryEngine engine, const ServeOptions& options)
+    : options_(options),
+      engine_(std::move(engine)),
+      cache_(options.cache_capacity) {}
+
+ServedResult QueryService::Query(const Graph& query,
+                                 const QueryOptions& options) {
+  ServedResult served;
+  WallTimer total;
+  // The signature is pure function of the inputs — build it before taking
+  // the lock to keep the critical section short.
+  std::string key = QuerySignature(query, options);
+
+  WallTimer wait;
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  served.wait_us = wait.ElapsedMicros();
+  read_wait_tenth_us_.fetch_add(TenthUs(served.wait_us),
+                                std::memory_order_relaxed);
+  // Stable while the shared lock is held: writers bump it only under the
+  // exclusive lock.
+  served.version = version_.load(std::memory_order_relaxed);
+
+  if (cache_.Lookup(key, served.version, &served.result)) {
+    served.cache_hit = true;
+  } else {
+    served.result = engine_.Query(query, options);
+    if (served.result.status.ok() || options_.cache_errors) {
+      cache_.Insert(key, served.version, served.result);
+    }
+  }
+  lock.unlock();
+
+  served.serve_us = total.ElapsedMicros();
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  if (served.cache_hit) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    hit_latency_.Record(served.serve_us);
+  } else {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    miss_latency_.Record(served.serve_us);
+  }
+  return served;
+}
+
+void QueryService::FinishWriteLocked(size_t applied, size_t skipped) {
+  update_batches_.fetch_add(1, std::memory_order_relaxed);
+  (void)skipped;
+  if (applied == 0) return;  // no-op batch: snapshot unchanged
+  updates_applied_.fetch_add(applied, std::memory_order_relaxed);
+  uint64_t v = version_.load(std::memory_order_relaxed) + 1;
+  version_.store(v, std::memory_order_release);
+  invalidations_.fetch_add(cache_.Invalidate(v), std::memory_order_relaxed);
+}
+
+bool QueryService::ApplyUpdate(const GraphUpdate& update,
+                               MaintenanceStats* stats) {
+  WallTimer wait;
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  write_wait_tenth_us_.fetch_add(TenthUs(wait.ElapsedMicros()),
+                                 std::memory_order_relaxed);
+  bool applied = engine_.ApplyUpdate(update, stats);
+  FinishWriteLocked(applied ? 1 : 0, applied ? 0 : 1);
+  return applied;
+}
+
+MaintenanceStats QueryService::ApplyUpdates(
+    const std::vector<GraphUpdate>& updates) {
+  WallTimer wait;
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  write_wait_tenth_us_.fetch_add(TenthUs(wait.ElapsedMicros()),
+                                 std::memory_order_relaxed);
+  MaintenanceStats stats = engine_.ApplyUpdates(updates);
+  FinishWriteLocked(stats.applied, stats.skipped);
+  return stats;
+}
+
+NodeId QueryService::AddNode(LabelId label) {
+  WallTimer wait;
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  write_wait_tenth_us_.fetch_add(TenthUs(wait.ElapsedMicros()),
+                                 std::memory_order_relaxed);
+  NodeId id = engine_.AddNode(label);
+  // A new node is observable (a single-node query can match it), so it
+  // advances the snapshot like any other applied update.
+  FinishWriteLocked(1, 0);
+  return id;
+}
+
+ServeStats QueryService::Stats() const {
+  ServeStats s;
+  s.queries = queries_.load(std::memory_order_relaxed);
+  s.cache_hits = hits_.load(std::memory_order_relaxed);
+  s.cache_misses = misses_.load(std::memory_order_relaxed);
+  s.cache_evictions = cache_.evictions();
+  s.cache_invalidations = invalidations_.load(std::memory_order_relaxed);
+  s.update_batches = update_batches_.load(std::memory_order_relaxed);
+  s.updates_applied = updates_applied_.load(std::memory_order_relaxed);
+  s.version = version_.load(std::memory_order_acquire);
+  s.read_wait_us =
+      static_cast<double>(
+          read_wait_tenth_us_.load(std::memory_order_relaxed)) /
+      10.0;
+  s.write_wait_us =
+      static_cast<double>(
+          write_wait_tenth_us_.load(std::memory_order_relaxed)) /
+      10.0;
+  s.hit_latency = hit_latency_.Summarize();
+  s.miss_latency = miss_latency_.Summarize();
+  return s;
+}
+
+}  // namespace osq

@@ -1,0 +1,120 @@
+// QueryService — concurrent serving layer over QueryEngine.
+//
+// QueryEngine::Query is const but unsynchronized: calling it while
+// ApplyUpdate mutates the graph/index is a data race.  QueryService wraps
+// one engine behind a reader/writer snapshot protocol so N client threads
+// query concurrently while update batches apply atomically:
+//
+//   * Readers hold a std::shared_mutex in shared mode for the whole
+//     evaluation — every query observes exactly one snapshot version,
+//     never a half-applied batch (no torn reads).
+//   * Writers hold it exclusively; each mutating call that changes the
+//     graph advances the snapshot version by one ("one batch = one
+//     version"), making pre/post states of a batch distinguishable.
+//   * Results are memoized in a versioned LRU cache (serve/result_cache.h)
+//     keyed by the canonical query signature.  An entry is served only if
+//     its version stamp equals the version the reader observes under the
+//     shared lock, so a stale result can never be returned; updates also
+//     eagerly invalidate superseded entries.  A cache hit returns a
+//     bit-identical copy of the cold QueryResult (including the cold run's
+//     phase timings and stats).
+//
+// Observability: every request records lock wait and end-to-end latency
+// into ServeStats (hit/miss split, p50/p90/p99); Stats() snapshots them
+// at any time without stopping traffic.  See DESIGN.md §8.
+
+#ifndef OSQ_SERVE_QUERY_SERVICE_H_
+#define OSQ_SERVE_QUERY_SERVICE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <shared_mutex>
+#include <vector>
+
+#include "core/index_maintenance.h"
+#include "core/options.h"
+#include "core/query_engine.h"
+#include "graph/graph.h"
+#include "serve/result_cache.h"
+#include "serve/serve_stats.h"
+
+namespace osq {
+
+// A QueryResult plus per-request serving metadata.
+struct ServedResult {
+  QueryResult result;
+  // True when the result came out of the cache without touching the engine.
+  bool cache_hit = false;
+  // Snapshot version the result reflects (monotone; one mutating batch
+  // advances it by one).
+  uint64_t version = 0;
+  // Time spent waiting to acquire the shared snapshot lock, microseconds.
+  double wait_us = 0.0;
+  // End-to-end service time (wait + cache probe + engine), microseconds.
+  double serve_us = 0.0;
+};
+
+class QueryService {
+ public:
+  // Takes ownership of a fully built engine.
+  explicit QueryService(QueryEngine engine,
+                        const ServeOptions& options = ServeOptions{});
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  // Evaluates `query` against the current snapshot.  Safe to call from
+  // any number of threads concurrently with each other and with the
+  // mutating calls below.
+  ServedResult Query(const Graph& query, const QueryOptions& options);
+
+  // Mutations.  Each call that changes the graph applies atomically with
+  // respect to Query (readers see all of it or none of it) and advances
+  // the snapshot version by one.
+  bool ApplyUpdate(const GraphUpdate& update,
+                   MaintenanceStats* stats = nullptr);
+  MaintenanceStats ApplyUpdates(const std::vector<GraphUpdate>& updates);
+  NodeId AddNode(LabelId label);
+
+  // Current snapshot version; starts at 0 for a freshly wrapped engine.
+  uint64_t version() const {
+    return version_.load(std::memory_order_acquire);
+  }
+
+  // Point-in-time counters; callable concurrently with traffic.
+  ServeStats Stats() const;
+
+  size_t cache_size() const { return cache_.size(); }
+
+  // Direct engine access for setup / inspection.  NOT synchronized —
+  // callers must guarantee no concurrent Query/Apply* is in flight.
+  const QueryEngine& engine_unsynchronized() const { return engine_; }
+
+ private:
+  // Bookkeeping shared by the three mutating entry points; called with
+  // `mu_` held exclusively.  `applied` is the number of edge updates (or
+  // node additions) that actually changed the graph.
+  void FinishWriteLocked(size_t applied, size_t skipped);
+
+  ServeOptions options_;
+  mutable std::shared_mutex mu_;  // guards engine_ (readers shared)
+  QueryEngine engine_;
+  std::atomic<uint64_t> version_{0};
+  ResultCache cache_;
+
+  // Counters (relaxed; see serve_stats.h for the rationale).
+  std::atomic<uint64_t> queries_{0};
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> invalidations_{0};
+  std::atomic<uint64_t> update_batches_{0};
+  std::atomic<uint64_t> updates_applied_{0};
+  std::atomic<uint64_t> read_wait_tenth_us_{0};
+  std::atomic<uint64_t> write_wait_tenth_us_{0};
+  LatencyHistogram hit_latency_;
+  LatencyHistogram miss_latency_;
+};
+
+}  // namespace osq
+
+#endif  // OSQ_SERVE_QUERY_SERVICE_H_

@@ -1,0 +1,89 @@
+// Versioned LRU cache of full QueryResults, keyed by a canonical query
+// signature (serve/result_cache.h:QuerySignature).
+//
+// Invalidation correctness is version-based: every entry is stamped with
+// the snapshot version it was computed at, and Lookup() only returns an
+// entry whose stamp equals the caller's current version — so even if the
+// eager Invalidate() pass after an update were skipped or raced, a stale
+// result could never be served (the stamp check is the proof obligation;
+// eager invalidation is just cleanup that frees capacity sooner).  See
+// DESIGN.md §8.
+//
+// The cache is internally synchronized with a single mutex; entries are
+// full QueryResult copies, so a returned result is immune to later
+// evictions.
+
+#ifndef OSQ_SERVE_RESULT_CACHE_H_
+#define OSQ_SERVE_RESULT_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "core/options.h"
+#include "core/query_engine.h"
+#include "graph/graph.h"
+
+namespace osq {
+
+// Canonical cache key: a deterministic serialization of the query graph
+// (node labels in id order + the sorted edge-triple list) concatenated
+// with every QueryOptions field that can influence the QueryResult —
+// theta, k, semantics, lazy_candidates, max_search_steps.  num_threads is
+// deliberately excluded: results are thread-count invariant by contract
+// (DESIGN.md §7), so a result computed at any thread count answers all of
+// them.  Structurally identical queries hash equal regardless of how the
+// caller built them; isomorphic-but-reordered queries are treated as
+// distinct (full canonicalization would cost a graph-isomorphism test per
+// request).
+std::string QuerySignature(const Graph& query, const QueryOptions& options);
+
+class ResultCache {
+ public:
+  // capacity == 0 disables the cache (Lookup always misses, Insert drops).
+  explicit ResultCache(size_t capacity) : capacity_(capacity) {}
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  // Copies the entry for `key` into *out and returns true when present
+  // and stamped with exactly `version`.  An entry found with any other
+  // stamp is dropped on the spot (it can never become valid again —
+  // versions are monotone).
+  bool Lookup(const std::string& key, uint64_t version, QueryResult* out);
+
+  // Inserts (or refreshes) `key` -> (`version`, `result`), evicting the
+  // least-recently-used entry when over capacity.
+  void Insert(const std::string& key, uint64_t version,
+              const QueryResult& result);
+
+  // Drops every entry whose stamp is older than `version`; returns the
+  // number dropped.  Called by the writer after a mutation, under the
+  // exclusive snapshot lock.
+  size_t Invalidate(uint64_t version);
+
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+  uint64_t evictions() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    uint64_t version;
+    QueryResult result;
+  };
+
+  mutable std::mutex mu_;
+  // Front = most recently used.
+  std::list<Entry> lru_;
+  std::unordered_map<std::string, std::list<Entry>::iterator> by_key_;
+  size_t capacity_;
+  uint64_t evictions_ = 0;
+};
+
+}  // namespace osq
+
+#endif  // OSQ_SERVE_RESULT_CACHE_H_

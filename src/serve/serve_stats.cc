@@ -1,0 +1,129 @@
+#include "serve/serve_stats.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace osq {
+
+namespace {
+
+// Bucket boundaries grow by r = 2^(1/4) per bucket from 1 us; bucket i
+// covers [r^i, r^(i+1)) us.  Index = floor(4 * log2(us)), clamped.
+size_t BucketOf(double us) {
+  if (us <= 1.0) return 0;
+  double idx = 4.0 * std::log2(us);
+  if (idx >= static_cast<double>(LatencyHistogram::kBuckets - 1)) {
+    return LatencyHistogram::kBuckets - 1;
+  }
+  return static_cast<size_t>(idx);
+}
+
+double BucketLowUs(size_t i) {
+  return std::exp2(static_cast<double>(i) / 4.0);
+}
+
+}  // namespace
+
+void LatencyHistogram::Record(double us) {
+  if (us < 0.0) us = 0.0;
+  buckets_[BucketOf(us)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  uint64_t tenths = static_cast<uint64_t>(us * 10.0);
+  total_tenth_us_.fetch_add(tenths, std::memory_order_relaxed);
+  uint64_t seen = max_tenth_us_.load(std::memory_order_relaxed);
+  while (tenths > seen &&
+         !max_tenth_us_.compare_exchange_weak(seen, tenths,
+                                              std::memory_order_relaxed)) {
+  }
+}
+
+LatencySummary LatencyHistogram::Summarize() const {
+  LatencySummary s;
+  s.count = count_.load(std::memory_order_relaxed);
+  if (s.count == 0) return s;
+  s.mean_us = static_cast<double>(
+                  total_tenth_us_.load(std::memory_order_relaxed)) /
+              10.0 / static_cast<double>(s.count);
+  s.max_us = static_cast<double>(
+                 max_tenth_us_.load(std::memory_order_relaxed)) /
+             10.0;
+
+  // Walk the histogram once, resolving each requested quantile when the
+  // cumulative count crosses it; linear interpolation inside the bucket.
+  struct Target {
+    double q;
+    double* out;
+  };
+  Target targets[] = {{0.50, &s.p50_us}, {0.90, &s.p90_us},
+                      {0.99, &s.p99_us}};
+  size_t t = 0;
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < kBuckets && t < 3; ++i) {
+    uint64_t in_bucket = buckets_[i].load(std::memory_order_relaxed);
+    if (in_bucket == 0) continue;
+    while (t < 3) {
+      double rank = targets[t].q * static_cast<double>(s.count);
+      if (rank > static_cast<double>(cumulative + in_bucket)) break;
+      double frac =
+          (rank - static_cast<double>(cumulative)) /
+          static_cast<double>(in_bucket);
+      if (frac < 0.0) frac = 0.0;
+      if (frac > 1.0) frac = 1.0;
+      double lo = BucketLowUs(i);
+      double hi = i + 1 < kBuckets ? BucketLowUs(i + 1) : s.max_us;
+      double v = lo + frac * (hi - lo);
+      *targets[t].out = v < s.max_us ? v : s.max_us;
+      ++t;
+    }
+    cumulative += in_bucket;
+  }
+  // Quantiles past the last populated bucket (rounding): pin to max.
+  for (; t < 3; ++t) *targets[t].out = s.max_us;
+  return s;
+}
+
+namespace {
+
+void AppendLatency(std::string* out, const char* name,
+                   const LatencySummary& l) {
+  char line[160];
+  std::snprintf(line, sizeof(line),
+                "  %-5s n=%llu mean=%.1fus p50=%.1fus p90=%.1fus "
+                "p99=%.1fus max=%.1fus\n",
+                name, static_cast<unsigned long long>(l.count), l.mean_us,
+                l.p50_us, l.p90_us, l.p99_us, l.max_us);
+  out->append(line);
+}
+
+}  // namespace
+
+std::string ServeStats::ToString() const {
+  std::string out;
+  char line[200];
+  std::snprintf(line, sizeof(line),
+                "serve: %llu queries (%llu hits / %llu misses), version %llu\n",
+                static_cast<unsigned long long>(queries),
+                static_cast<unsigned long long>(cache_hits),
+                static_cast<unsigned long long>(cache_misses),
+                static_cast<unsigned long long>(version));
+  out.append(line);
+  std::snprintf(line, sizeof(line),
+                "cache: %llu evictions, %llu invalidations\n",
+                static_cast<unsigned long long>(cache_evictions),
+                static_cast<unsigned long long>(cache_invalidations));
+  out.append(line);
+  std::snprintf(line, sizeof(line),
+                "updates: %llu batches, %llu applied\n",
+                static_cast<unsigned long long>(update_batches),
+                static_cast<unsigned long long>(updates_applied));
+  out.append(line);
+  std::snprintf(line, sizeof(line),
+                "waits: read %.1fus total, write %.1fus total\n",
+                read_wait_us, write_wait_us);
+  out.append(line);
+  AppendLatency(&out, "hit", hit_latency);
+  AppendLatency(&out, "miss", miss_latency);
+  return out;
+}
+
+}  // namespace osq

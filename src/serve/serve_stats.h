@@ -1,0 +1,79 @@
+// Observability for the serving layer (serve/query_service.h).
+//
+// QueryService records every request into lock-free log-bucketed latency
+// histograms (one for cache hits, one for cold queries) plus a set of
+// monotonic counters; Snapshot() folds them into a plain ServeStats value
+// with interpolated percentiles.  All recording uses relaxed atomics —
+// counters are independent monotone facts, not synchronization — so the
+// hot path never takes a lock for stats and stays ThreadSanitizer-clean.
+
+#ifndef OSQ_SERVE_SERVE_STATS_H_
+#define OSQ_SERVE_SERVE_STATS_H_
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace osq {
+
+// Percentile summary of one latency population, microseconds.
+struct LatencySummary {
+  uint64_t count = 0;
+  double mean_us = 0.0;
+  double p50_us = 0.0;
+  double p90_us = 0.0;
+  double p99_us = 0.0;
+  double max_us = 0.0;
+};
+
+// A point-in-time snapshot of a QueryService's counters.
+struct ServeStats {
+  // Requests served, split by how they were answered.
+  uint64_t queries = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  // Cache churn: capacity evictions vs entries dropped because an update
+  // advanced the snapshot version past them.
+  uint64_t cache_evictions = 0;
+  uint64_t cache_invalidations = 0;
+  // Mutations: one batch per ApplyUpdate/ApplyUpdates/AddNode call that
+  // changed the graph; applied counts individual edge updates.
+  uint64_t update_batches = 0;
+  uint64_t updates_applied = 0;
+  // Snapshot version at snapshot time (monotone, bumped per batch).
+  uint64_t version = 0;
+  // Total time requests spent waiting to acquire the reader (resp. writer)
+  // side of the snapshot lock, microseconds.
+  double read_wait_us = 0.0;
+  double write_wait_us = 0.0;
+  // End-to-end service latency (lock wait + cache probe + engine).
+  LatencySummary hit_latency;
+  LatencySummary miss_latency;
+
+  // Multi-line human-readable rendering for CLI / bench output.
+  std::string ToString() const;
+};
+
+// Concurrent latency histogram: geometric buckets with ratio 2^(1/4)
+// starting at 1 us, so 96 buckets span 1 us .. ~16.8 s with <= 19 %
+// relative quantile error.  Record() is wait-free (relaxed fetch_add plus
+// a CAS max); Summarize() interpolates percentiles within a bucket.
+class LatencyHistogram {
+ public:
+  static constexpr size_t kBuckets = 96;
+
+  void Record(double us);
+  LatencySummary Summarize() const;
+
+ private:
+  std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> total_tenth_us_{0};  // sum in 0.1 us ticks
+  std::atomic<uint64_t> max_tenth_us_{0};
+};
+
+}  // namespace osq
+
+#endif  // OSQ_SERVE_SERVE_STATS_H_

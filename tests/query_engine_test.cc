@@ -65,6 +65,77 @@ TEST(QueryEngineTest, EngineIsMovable) {
   QueryResult r = moved.Query(f.query, options);
   ASSERT_TRUE(r.status.ok());
   EXPECT_EQ(r.matches.size(), 1u);
+  // The index borrows raw Graph*/OntologyGraph*; after the move they must
+  // point at the graphs the moved-to engine now owns.
+  EXPECT_EQ(&moved.index().data_graph(), &moved.graph());
+  EXPECT_EQ(&moved.index().ontology(), &moved.ontology());
+}
+
+// Regression: move-*assignment* destroys the target's old graphs and
+// adopts the source's.  The index's raw pointers must stay glued to the
+// graphs that moved in — and the maintenance path (which mutates graph
+// and index together) must keep working afterwards.
+TEST(QueryEngineTest, MoveAssignedEngineQueriesAndUpdates) {
+  test::TravelFixture f1 = test::MakeTravelFixture();
+  Graph query = f1.query;
+  NodeId ct = f1.ct, hp = f1.hp, rg = f1.rg;
+  LabelId fav = f1.fav, near = f1.near;
+  QueryEngine source = MakeTravelEngine(&f1);
+
+  // The target starts as a different engine whose graphs die on assign.
+  test::ColorFixture f2 = test::MakeColorFixture();
+  IndexOptions color_options;
+  color_options.num_concept_graphs = 1;
+  QueryEngine target(std::move(f2.g), std::move(f2.o), color_options);
+
+  target = std::move(source);
+  EXPECT_EQ(&target.index().data_graph(), &target.graph());
+  EXPECT_EQ(&target.index().ontology(), &target.ontology());
+
+  QueryOptions options;
+  options.theta = 0.9;
+  options.k = 10;
+  QueryResult r = target.Query(query, options);
+  ASSERT_TRUE(r.status.ok());
+  ASSERT_EQ(r.matches.size(), 1u);
+  EXPECT_DOUBLE_EQ(r.matches[0].score, 2.7);
+
+  // Mutations go through graph AND index; a dangling pointer on either
+  // side would corrupt or crash here.
+  ASSERT_TRUE(target.ApplyUpdate(GraphUpdate::Insert(ct, hp, fav)));
+  ASSERT_TRUE(target.ApplyUpdate(GraphUpdate::Insert(hp, rg, near)));
+  EXPECT_EQ(target.Query(query, options).matches.size(), 2u);
+  EXPECT_TRUE(target.index().Validate());
+  EXPECT_EQ(target.version(), 2u);
+}
+
+TEST(QueryEngineTest, VersionCountsMutatingBatches) {
+  test::TravelFixture f = test::MakeTravelFixture();
+  NodeId ct = f.ct, rg = f.rg, hp = f.hp;
+  LabelId guide = f.guide, near = f.near;
+  QueryEngine engine = MakeTravelEngine(&f);
+  EXPECT_EQ(engine.version(), 0u);
+
+  // No-op: duplicate edge, version unchanged.
+  EXPECT_FALSE(engine.ApplyUpdate(GraphUpdate::Insert(ct, rg, guide)));
+  EXPECT_EQ(engine.version(), 0u);
+
+  ASSERT_TRUE(engine.ApplyUpdate(GraphUpdate::Insert(hp, rg, near)));
+  EXPECT_EQ(engine.version(), 1u);
+
+  // A batch counts once regardless of its size.
+  MaintenanceStats stats = engine.ApplyUpdates(
+      {GraphUpdate::Delete(hp, rg, near),
+       GraphUpdate::Insert(ct, hp, near)});
+  EXPECT_EQ(stats.applied, 2u);
+  EXPECT_EQ(engine.version(), 2u);
+
+  // An all-skipped batch does not count.
+  engine.ApplyUpdates({GraphUpdate::Insert(ct, hp, near)});
+  EXPECT_EQ(engine.version(), 2u);
+
+  engine.AddNode(guide);
+  EXPECT_EQ(engine.version(), 3u);
 }
 
 TEST(QueryEngineTest, DynamicUpdateChangesResults) {

@@ -10,20 +10,31 @@
 //           [--semantics induced|homomorphic] [--threads N]
 //   osq_cli bench    --graph g.txt --ontology o.txt --queries q.txt
 //           [--theta 0.9] [--k 10] [--reps 3] [--threads N]
+//   osq_cli serve-bench --graph g.txt --ontology o.txt --queries q.txt
+//           [--theta 0.9] [--k 10] [--threads 4] [--requests 200]
+//           [--cache 256] [--update-interval-ms 0]
 //   osq_cli stats    --graph g.txt --ontology o.txt
 //
 // --threads N parallelizes index build and query evaluation over N threads
 // (0 = all hardware threads); results are identical for every N.
+// serve-bench instead uses --threads as the number of concurrent client
+// threads driving a QueryService closed-loop (snapshot-isolated reads,
+// LRU result cache); --update-interval-ms > 0 adds a writer thread
+// toggling an edge update at that period.
 //
 // Exit status: 0 on success, 1 on usage errors, 2 on runtime errors.
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "common/timer.h"
 #include "core/explain.h"
 #include "core/index_io.h"
@@ -33,6 +44,7 @@
 #include "graph/graph_algorithms.h"
 #include "graph/graph_io.h"
 #include "query/pattern_parser.h"
+#include "serve/query_service.h"
 
 namespace {
 
@@ -85,7 +97,8 @@ int Fail(const Status& status) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: osq_cli <generate|index|query|bench|stats> [--flags]\n"
+               "usage: osq_cli "
+               "<generate|index|query|bench|serve-bench|stats> [--flags]\n"
                "see the header of tools/osq_cli.cc for details\n");
   return 1;
 }
@@ -303,6 +316,94 @@ int CmdBench(const FlagMap& flags) {
   return 0;
 }
 
+int CmdServeBench(const FlagMap& flags) {
+  gen::Dataset ds;
+  if (int rc = LoadDataset(flags, &ds); rc != 0) return rc;
+  std::string queries_path = GetFlag(flags, "queries", "");
+  if (queries_path.empty()) {
+    std::fprintf(stderr, "serve-bench needs --queries <patterns file>\n");
+    return 1;
+  }
+  std::vector<ParsedPattern> patterns;
+  Status s = LoadPatternsFromFile(queries_path, &ds.dict, &patterns);
+  if (!s.ok()) return Fail(s);
+  if (patterns.empty()) {
+    std::fprintf(stderr, "no patterns in %s\n", queries_path.c_str());
+    return 1;
+  }
+
+  QueryOptions options;
+  options.theta = GetDouble(flags, "theta", options.theta);
+  options.k = GetSize(flags, "k", options.k);
+  size_t threads = GetSize(flags, "threads", 4);
+  if (threads == 0) threads = 1;
+  size_t requests = GetSize(flags, "requests", 200);
+  size_t update_interval_ms = GetSize(flags, "update-interval-ms", 0);
+
+  ServeOptions serve;
+  serve.cache_capacity = GetSize(flags, "cache", serve.cache_capacity);
+
+  // The engine owns its graph/ontology; keep an edge to toggle first.
+  std::vector<EdgeTriple> edges = ds.graph.EdgeList();
+  WallTimer build_timer;
+  QueryService service(
+      QueryEngine(std::move(ds.graph), std::move(ds.ontology),
+                  IndexOptionsFromFlags(flags)),
+      serve);
+  std::printf("index built in %.1f ms; serving %zu patterns on %zu "
+              "client threads (%zu requests each, cache %zu)\n",
+              build_timer.ElapsedMillis(), patterns.size(), threads,
+              requests, serve.cache_capacity);
+
+  std::atomic<bool> stop{false};
+  std::thread writer;
+  uint64_t toggles = 0;
+  if (update_interval_ms > 0 && !edges.empty()) {
+    EdgeTriple e = edges.front();
+    writer = std::thread([&service, &stop, &toggles, e,
+                          update_interval_ms] {
+      while (!stop.load(std::memory_order_acquire)) {
+        GraphUpdate update =
+            toggles % 2 == 0 ? GraphUpdate::Delete(e.from, e.to, e.label)
+                             : GraphUpdate::Insert(e.from, e.to, e.label);
+        service.ApplyUpdate(update);
+        ++toggles;
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(update_interval_ms));
+      }
+      if (toggles % 2 == 1) {  // leave the graph as we found it
+        service.ApplyUpdate(GraphUpdate::Insert(e.from, e.to, e.label));
+        ++toggles;
+      }
+    });
+  }
+
+  WallTimer run_timer;
+  RunConcurrently(threads, [&](size_t tid) {
+    for (size_t it = 0; it < requests; ++it) {
+      const Graph& q = patterns[(it + tid * 7) % patterns.size()].query;
+      (void)service.Query(q, options);
+    }
+  });
+  double run_ms = run_timer.ElapsedMillis();
+  stop.store(true, std::memory_order_release);
+  if (writer.joinable()) writer.join();
+
+  ServeStats stats = service.Stats();
+  std::printf("served %llu queries in %.1f ms (%.0f qps)",
+              static_cast<unsigned long long>(stats.queries), run_ms,
+              run_ms > 0.0 ? 1000.0 * static_cast<double>(stats.queries) /
+                                 run_ms
+                           : 0.0);
+  if (toggles > 0) {
+    std::printf(", %llu update batches",
+                static_cast<unsigned long long>(toggles));
+  }
+  std::printf("\n");
+  std::fputs(stats.ToString().c_str(), stdout);
+  return 0;
+}
+
 int CmdStats(const FlagMap& flags) {
   gen::Dataset ds;
   if (int rc = LoadDataset(flags, &ds); rc != 0) return rc;
@@ -336,6 +437,7 @@ int main(int argc, char** argv) {
   if (command == "index") return CmdIndex(flags);
   if (command == "query") return CmdQuery(flags);
   if (command == "bench") return CmdBench(flags);
+  if (command == "serve-bench") return CmdServeBench(flags);
   if (command == "stats") return CmdStats(flags);
   return Usage();
 }

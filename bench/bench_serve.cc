@@ -10,6 +10,12 @@
 //            isolation and cache invalidation under load.
 //
 //   bench_serve [--threads 4] [--iterations 300] [--json BENCH_serve.json]
+//               [--deadline-ms 0] [--max-inflight 0]
+//
+// --deadline-ms > 0 applies a per-query service deadline (interrupted
+// queries return valid partial top-K, flagged deadline_exceeded and kept
+// out of the cache); --max-inflight > 0 bounds admitted concurrency, with
+// excess requests shed as UNAVAILABLE.  Both report in the mixed row.
 //
 // The JSON rows track the serving trajectory across commits; the `hot`
 // row carries speedup_cold_over_hit = cold / hot mean latency (the
@@ -33,6 +39,7 @@
 namespace osq {
 namespace {
 
+using bench::ArgDouble;
 using bench::ArgSize;
 using bench::ArgValue;
 using bench::JsonReport;
@@ -80,6 +87,8 @@ int Main(int argc, char** argv) {
   size_t iterations = ArgSize(argc, argv, "--iterations", 300);
   size_t update_interval_ms =
       ArgSize(argc, argv, "--update-interval-ms", 2);
+  double deadline_ms = ArgDouble(argc, argv, "--deadline-ms", 0.0);
+  size_t max_inflight = ArgSize(argc, argv, "--max-inflight", 0);
   std::string json_path = ArgValue(argc, argv, "--json", "BENCH_serve.json");
 
   PrintTitle("serve: QueryService closed-loop (CrossDomain-like)");
@@ -97,10 +106,13 @@ int Main(int argc, char** argv) {
               workload.data.graph.num_edges(), queries.size(), threads);
 
   WallTimer build_timer;
+  ServeOptions serve;
+  serve.default_deadline_ms = deadline_ms;
+  serve.max_inflight = max_inflight;
   QueryService service(
       QueryEngine(std::move(workload.data.graph),
                   std::move(workload.data.ontology), IndexOptions{}),
-      ServeOptions{});
+      serve);
   std::printf("index built in %.1f ms\n", build_timer.ElapsedMillis());
 
   QueryOptions options;
@@ -167,7 +179,10 @@ int Main(int argc, char** argv) {
               static_cast<unsigned long long>(toggles));
   report.Add("mixed", mixed.mean_us / 1000.0, threads,
              {{"update_batches", static_cast<double>(toggles)},
-              {"overall_hit_rate", hit_rate}});
+              {"overall_hit_rate", hit_rate},
+              {"degraded", static_cast<double>(stats.deadline_exceeded +
+                                               stats.cancelled)},
+              {"shed", static_cast<double>(stats.shed)}});
 
   PrintTitle("serve: cumulative service stats");
   std::fputs(stats.ToString().c_str(), stdout);

@@ -78,6 +78,12 @@ inline size_t ArgSize(int argc, char** argv, const std::string& flag,
                                                              nullptr, 10));
 }
 
+inline double ArgDouble(int argc, char** argv, const std::string& flag,
+                        double def) {
+  std::string v = ArgValue(argc, argv, flag, "");
+  return v.empty() ? def : std::strtod(v.c_str(), nullptr);
+}
+
 class JsonReport {
  public:
   // `extras` are additional numeric fields, e.g. {{"speedup", 2.1}}.

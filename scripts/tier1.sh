@@ -2,7 +2,8 @@
 # Tier-1 verification: full build + test suite, then the concurrency tests
 # again under ThreadSanitizer (OSQ_SANITIZE=thread) so data races in the
 # parallel pipelines and the serving layer fail the build gate, not a
-# user's query.
+# user's query, and finally the fast suite under UndefinedBehaviorSanitizer
+# (OSQ_SANITIZE=undefined) to catch overflow/alignment/bounds UB.
 #
 # The ctest run is split by the `slow` label: the fast suite first (quick
 # signal), then the slow randomized/differential/stress suites.
@@ -23,8 +24,14 @@ echo "== tier-1: concurrency tests under ThreadSanitizer =="
 cmake -B build-tsan -S . -DOSQ_SANITIZE=thread \
   -DOSQ_BUILD_BENCHMARKS=OFF -DOSQ_BUILD_EXAMPLES=OFF "$@"
 cmake --build build-tsan -j --target thread_pool_test \
-  parallel_determinism_test query_service_stress_test
+  parallel_determinism_test query_service_stress_test deadline_stress_test
 ctest --test-dir build-tsan --output-on-failure \
-  -R 'ThreadPoolTest|ResolveNumThreadsTest|ParallelDeterminismTest|QueryServiceStressTest'
+  -R 'ThreadPoolTest|ResolveNumThreadsTest|ParallelDeterminismTest|QueryServiceStressTest|DeadlineStressTest'
+
+echo "== tier-1: fast suite under UndefinedBehaviorSanitizer =="
+cmake -B build-ubsan -S . -DOSQ_SANITIZE=undefined \
+  -DOSQ_BUILD_BENCHMARKS=OFF -DOSQ_BUILD_EXAMPLES=OFF "$@"
+cmake --build build-ubsan -j
+ctest --test-dir build-ubsan --output-on-failure -j -LE slow
 
 echo "tier-1 OK"

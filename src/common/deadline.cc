@@ -1,0 +1,25 @@
+#include "common/deadline.h"
+
+#include <limits>
+
+namespace osq {
+
+const char* StopReasonName(StopReason reason) {
+  switch (reason) {
+    case StopReason::kNone:
+      return "complete";
+    case StopReason::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case StopReason::kCancelled:
+      return "cancelled";
+  }
+  return "unknown";
+}
+
+double Deadline::RemainingMillis() const {
+  if (!has_deadline_) return std::numeric_limits<double>::infinity();
+  return std::chrono::duration<double, std::milli>(at_ - Clock::now())
+      .count();
+}
+
+}  // namespace osq

@@ -1,0 +1,176 @@
+// Deadline / cancellation primitives for query execution.
+//
+// KMatch is worst-case exponential, so an adversarial query could pin a
+// serving thread forever.  The engine therefore supports *cooperative*
+// interruption: a query carries an optional wall-clock Deadline and an
+// optional CancelToken, and the two long-running phases (the Gview
+// refinement fixpoints and the KMatch backtracking loop) poll them at an
+// amortized stride via CancelCheck.  When either fires, the phase stops
+// where it is and the engine returns whatever *valid* work was already
+// completed — truncated top-K matches, never garbage — tagged with a
+// StopReason so callers can distinguish a complete answer from a
+// degraded one (see core/query_engine.h:QueryResult::completeness).
+//
+// All three types are cheap to copy and safe to share across the worker
+// threads of one query: Deadline is an immutable time point, CancelToken
+// is a shared_ptr to one atomic flag, and each worker owns its own
+// CancelCheck (the only mutable state).
+
+#ifndef OSQ_COMMON_DEADLINE_H_
+#define OSQ_COMMON_DEADLINE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+
+namespace osq {
+
+// Why an evaluation stopped early.  Ordered by precedence: when both a
+// deadline expiry and an explicit cancellation are observed, the higher
+// value (cancellation) wins in merges.
+enum class StopReason : uint8_t {
+  kNone = 0,              // ran to completion
+  kDeadlineExceeded = 1,  // wall-clock deadline expired mid-evaluation
+  kCancelled = 2,         // caller cancelled via CancelToken
+};
+
+// Human-readable name ("complete" / "deadline_exceeded" / "cancelled").
+const char* StopReasonName(StopReason reason);
+
+// The higher-precedence of two stop reasons.
+inline StopReason MergeStopReason(StopReason a, StopReason b) {
+  return a >= b ? a : b;
+}
+
+// An absolute wall-clock deadline.  Default-constructed = no deadline.
+class Deadline {
+ public:
+  Deadline() = default;
+
+  // Deadline `ms` milliseconds from now; ms <= 0 means no deadline.
+  static Deadline AfterMillis(double ms) {
+    Deadline d;
+    if (ms > 0.0) {
+      d.has_deadline_ = true;
+      d.at_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                 std::chrono::duration<double, std::milli>(ms));
+    }
+    return d;
+  }
+
+  bool has_deadline() const { return has_deadline_; }
+  bool Expired() const { return has_deadline_ && Clock::now() >= at_; }
+
+  // Milliseconds until expiry; negative once expired, +inf without a
+  // deadline.
+  double RemainingMillis() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  bool has_deadline_ = false;
+  Clock::time_point at_{};
+};
+
+// Copyable handle to one shared cancellation flag.  A default-constructed
+// token is inert (never cancelled, no allocation); Cancellable() makes a
+// live one.  RequestCancel/Cancelled are thread-safe and may race freely
+// with each other — the flag is a relaxed atomic, cancellation is a hint
+// the evaluation acts on at its next poll, not a synchronization point.
+class CancelToken {
+ public:
+  CancelToken() = default;
+
+  static CancelToken Cancellable() {
+    CancelToken t;
+    t.flag_ = std::make_shared<std::atomic<bool>>(false);
+    return t;
+  }
+
+  // No-op on an inert token.
+  void RequestCancel() const {
+    if (flag_) flag_->store(true, std::memory_order_relaxed);
+  }
+
+  bool Cancelled() const {
+    return flag_ && flag_->load(std::memory_order_relaxed);
+  }
+
+  // True when this token can ever be cancelled (made via Cancellable()).
+  bool cancellable() const { return flag_ != nullptr; }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+// The per-query execution control block: one Deadline plus one
+// CancelToken, built once at query entry and shared (read-only) by every
+// phase and worker thread of that query.
+struct ExecControl {
+  Deadline deadline;
+  CancelToken cancel;
+
+  // Immediate (non-amortized) poll.
+  StopReason Check() const {
+    if (cancel.Cancelled()) return StopReason::kCancelled;
+    if (deadline.Expired()) return StopReason::kDeadlineExceeded;
+    return StopReason::kNone;
+  }
+
+  // True when polling can ever fire — lets hot loops skip the countdown
+  // entirely for unconstrained queries.
+  bool CanStop() const {
+    return deadline.has_deadline() || cancel.cancellable();
+  }
+};
+
+// Amortized, allocation-free stop poller for hot loops.  Call Stop() once
+// per unit of work (e.g. per backtracking step); it consults the clock and
+// the token only every `stride` calls, and latches the first non-kNone
+// reason it sees (Stop() keeps returning true afterwards, so unwinding
+// code can re-query cheaply).  One instance per worker thread.
+class CancelCheck {
+ public:
+  // Default stride: at typical sub-microsecond step costs this bounds the
+  // detection lag well under a millisecond while keeping the common case
+  // at one decrement + one branch.
+  static constexpr uint32_t kDefaultStride = 256;
+
+  // `control` may be null or inert, in which case Stop() is a single
+  // branch forever.
+  explicit CancelCheck(const ExecControl* control,
+                       uint32_t stride = kDefaultStride)
+      : control_(control != nullptr && control->CanStop() ? control : nullptr),
+        stride_(stride == 0 ? 1 : stride),
+        countdown_(stride == 0 ? 1 : stride) {}
+
+  bool Stop() {
+    if (reason_ != StopReason::kNone) return true;
+    if (control_ == nullptr) return false;
+    if (--countdown_ != 0) return false;
+    countdown_ = stride_;
+    reason_ = control_->Check();
+    return reason_ != StopReason::kNone;
+  }
+
+  // Immediate poll, bypassing the stride (used between coarse work units,
+  // e.g. before starting a new root partition).
+  bool StopNow() {
+    if (reason_ == StopReason::kNone && control_ != nullptr) {
+      reason_ = control_->Check();
+    }
+    return reason_ != StopReason::kNone;
+  }
+
+  StopReason reason() const { return reason_; }
+
+ private:
+  const ExecControl* control_;
+  uint32_t stride_;
+  uint32_t countdown_;
+  StopReason reason_ = StopReason::kNone;
+};
+
+}  // namespace osq
+
+#endif  // OSQ_COMMON_DEADLINE_H_

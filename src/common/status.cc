@@ -16,6 +16,8 @@ const char* CodeName(StatusCode code) {
       return "IO_ERROR";
     case StatusCode::kCorruption:
       return "CORRUPTION";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
   }
   return "UNKNOWN";
 }

@@ -17,6 +17,9 @@ enum class StatusCode {
   kNotFound = 2,
   kIoError = 3,
   kCorruption = 4,
+  // Transient overload: the operation was shed by admission control and
+  // may succeed if retried later (serve/query_service.h).
+  kUnavailable = 5,
 };
 
 // Value-semantic result of a fallible operation.  Default-constructed
@@ -39,6 +42,9 @@ class Status {
   }
   static Status Corruption(std::string message) {
     return Status(StatusCode::kCorruption, std::move(message));
+  }
+  static Status Unavailable(std::string message) {
+    return Status(StatusCode::kUnavailable, std::move(message));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -164,6 +164,13 @@ class ConceptGraph {
   // it in a (possibly new) block compatible with its label.
   void RegisterNewNode(NodeId v);
 
+  // Re-points the borrowed graph pointers at relocated instances of the
+  // same logical graphs (see OntologyIndex::Rebind).
+  void Rebind(const Graph* g, const OntologyGraph* o) {
+    g_ = g;
+    o_ = o;
+  }
+
  private:
   ConceptGraph() = default;
 

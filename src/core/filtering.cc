@@ -66,6 +66,7 @@ bool BlockCandidates(const ConceptGraph& cg, const OntologyGraph& o,
                      const QueryOptions& options,
                      const std::vector<std::unordered_map<LabelId, double>>&
                          exact_label_sims,
+                     const ExecControl* exec,
                      std::vector<std::vector<BlockId>>* out,
                      FilterStats* stats) {
   size_t nq = query.num_nodes();
@@ -115,8 +116,13 @@ bool BlockCandidates(const ConceptGraph& cg, const OntologyGraph& o,
 
   // Fixpoint refinement over query edges (paper, Gview lines 5-10): drop a
   // candidate block when a query edge has no corresponding block edge.
+  // The fixpoint is the one super-linear stage here, so it polls the
+  // deadline/cancel state per examined block; an interrupted fixpoint
+  // keeps the current candidate sets — a sound over-approximation, since
+  // any prefix of the pruning sequence only removed impossible blocks.
+  CancelCheck check(exec);
   bool changed = true;
-  while (changed) {
+  while (changed && !check.Stop()) {
     changed = false;
     std::vector<EdgeTriple> qedges = query.EdgeList();
     for (const EdgeTriple& e : qedges) {
@@ -128,6 +134,11 @@ bool BlockCandidates(const ConceptGraph& cg, const OntologyGraph& o,
         size_t kept = 0;
         for (size_t i = 0; i < list.size(); ++i) {
           BlockId b = list[i];
+          if (check.Stop()) {
+            // Keep this and every not-yet-examined block.
+            for (; i < list.size(); ++i) list[kept++] = list[i];
+            break;
+          }
           // Honor the query edge label when the index is label-aware.
           bool ok = forward
                         ? cg.HasSuccessorInSet(b, in_can[other], e.label)
@@ -146,8 +157,10 @@ bool BlockCandidates(const ConceptGraph& cg, const OntologyGraph& o,
       if (can[q1].empty()) return false;
       prune(q2, q1, /*forward=*/false);
       if (can[q2].empty()) return false;
+      if (check.reason() != StopReason::kNone) break;
     }
   }
+  stats->stopped = MergeStopReason(stats->stopped, check.reason());
   *out = std::move(can);
   return true;
 }
@@ -155,7 +168,8 @@ bool BlockCandidates(const ConceptGraph& cg, const OntologyGraph& o,
 }  // namespace
 
 FilterResult GviewFilter(const OntologyIndex& index, const Graph& query,
-                         const QueryOptions& options) {
+                         const QueryOptions& options,
+                         const ExecControl* exec) {
   FilterResult result;
   const Graph& g = index.data_graph();
   const OntologyGraph& o = index.ontology();
@@ -210,7 +224,7 @@ FilterResult GviewFilter(const OntologyIndex& index, const Graph& query,
     PerGraph& pg = per_graph[i];
     std::vector<std::vector<BlockId>> can;
     pg.ok = BlockCandidates(cg, o, sim, query, options, exact_label_sims,
-                            &can, &pg.stats);
+                            exec, &can, &pg.stats);
     if (!pg.ok) return;
     pg.nodes.resize(nq);
     for (NodeId u = 0; u < nq; ++u) {
@@ -235,6 +249,8 @@ FilterResult GviewFilter(const OntologyIndex& index, const Graph& query,
     PerGraph& pg = per_graph[i];
     result.stats.initial_blocks += pg.stats.initial_blocks;
     result.stats.pruned_blocks += pg.stats.pruned_blocks;
+    result.stats.stopped =
+        MergeStopReason(result.stats.stopped, pg.stats.stopped);
     if (!pg.ok) {
       result.no_match = true;
       return result;
@@ -287,8 +303,11 @@ FilterResult GviewFilter(const OntologyIndex& index, const Graph& query,
       for (const auto& [v, s] : exact[u]) is_cand[u][v] = true;
     }
     std::vector<EdgeTriple> qedges = query.EdgeList();
+    // Second super-linear stage; same cooperative-stop contract as the
+    // block fixpoint above (interrupt = keep the sound superset).
+    CancelCheck check(exec);
     bool changed = true;
-    while (changed) {
+    while (changed && !check.Stop()) {
       changed = false;
       for (const EdgeTriple& e : qedges) {
         auto prune = [&](NodeId holder, NodeId other, bool forward) {
@@ -296,6 +315,10 @@ FilterResult GviewFilter(const OntologyIndex& index, const Graph& query,
           size_t kept = 0;
           for (size_t i = 0; i < list.size(); ++i) {
             NodeId v = list[i].first;
+            if (check.Stop()) {
+              for (; i < list.size(); ++i) list[kept++] = list[i];
+              break;
+            }
             bool ok = false;
             const auto& adj = forward ? g.OutEdges(v) : g.InEdges(v);
             for (const AdjEntry& a : adj) {
@@ -323,8 +346,11 @@ FilterResult GviewFilter(const OntologyIndex& index, const Graph& query,
           result.no_match = true;
           return result;
         }
+        if (check.reason() != StopReason::kNone) break;
       }
     }
+    result.stats.stopped =
+        MergeStopReason(result.stats.stopped, check.reason());
   }
 
   // Materialize G_v induced by the union of all candidates.

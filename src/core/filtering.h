@@ -29,6 +29,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/deadline.h"
 #include "core/ontology_index.h"
 #include "core/options.h"
 #include "graph/graph.h"
@@ -46,6 +47,12 @@ struct FilterStats {
   // Size of the extracted G_v.
   size_t gv_nodes = 0;
   size_t gv_edges = 0;
+  // Non-kNone when a deadline or cancellation interrupted a refinement
+  // fixpoint.  The filter result is then an over-approximation: G_v still
+  // contains every true match (pruning is lossless at any prefix of the
+  // fixpoint), it is just larger than the fully refined extract, so
+  // downstream KMatch output stays sound.
+  StopReason stopped = StopReason::kNone;
 };
 
 // One data-node candidate for a query node, with its exact similarity.
@@ -72,8 +79,17 @@ struct FilterResult {
 // per-query-node candidate stages run on the shared thread pool; every
 // merge happens in index order, so the result (including stats) is
 // identical for any thread count.
+//
+// `exec` (optional) carries the query's deadline / cancellation state.
+// The two refinement fixpoints — block-level and node-level, the only
+// super-linear stages — poll it cooperatively and, when it fires, stop
+// refining and keep the current (over-approximate but sound) candidate
+// sets, with stats.stopped recording why.  The linear stages always run
+// to completion.  A stopped filter result is timing-dependent; the
+// thread-count determinism contract applies only to runs that complete.
 FilterResult GviewFilter(const OntologyIndex& index, const Graph& query,
-                         const QueryOptions& options);
+                         const QueryOptions& options,
+                         const ExecControl* exec = nullptr);
 
 }  // namespace osq
 

@@ -1,5 +1,6 @@
 #include "core/index_io.h"
 
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <vector>
@@ -9,6 +10,62 @@ namespace osq {
 namespace {
 
 constexpr char kHeader[] = "# osq index v1";
+
+// Label names are written space-separated inside the concepts / block
+// records, so a name containing whitespace would shift every following
+// token and corrupt the file silently.  We percent-escape '%' and all
+// whitespace bytes on save and reverse it on load; names without those
+// bytes round-trip byte-identical to the original v1 format, so old files
+// still parse and the header stays v1.
+bool NeedsEscape(char c) {
+  return c == '%' || c == ' ' || c == '\t' || c == '\n' || c == '\r' ||
+         c == '\v' || c == '\f';
+}
+
+// Empty names are unescapable (the tokenizer cannot represent them);
+// callers reject them with InvalidArgument before writing anything.
+std::string EscapeLabelName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    if (NeedsEscape(c)) {
+      char buf[4];
+      std::snprintf(buf, sizeof(buf), "%%%02X",
+                    static_cast<unsigned char>(c));
+      out.append(buf);
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+int HexDigit(char h) {
+  if (h >= '0' && h <= '9') return h - '0';
+  if (h >= 'A' && h <= 'F') return h - 'A' + 10;
+  if (h >= 'a' && h <= 'f') return h - 'a' + 10;
+  return -1;
+}
+
+// False on a malformed escape ('%' without two hex digits) or an empty
+// result; both indicate a corrupt file.
+bool UnescapeLabelName(const std::string& escaped, std::string* out) {
+  out->clear();
+  for (size_t i = 0; i < escaped.size(); ++i) {
+    char c = escaped[i];
+    if (c == '%') {
+      if (i + 2 >= escaped.size()) return false;
+      int hi = HexDigit(escaped[i + 1]);
+      int lo = HexDigit(escaped[i + 2]);
+      if (hi < 0 || lo < 0) return false;
+      out->push_back(static_cast<char>(hi * 16 + lo));
+      i += 2;
+    } else {
+      out->push_back(c);
+    }
+  }
+  return !out->empty();
+}
 
 }  // namespace
 
@@ -31,11 +88,21 @@ Status SaveIndex(const OntologyIndex& index, const LabelDictionary& dict,
          << blocks.size() << '\n';
     *out << "concepts";
     for (LabelId l : cg.concept_labels()) {
-      *out << ' ' << dict.Name(l);
+      const std::string& name = dict.Name(l);
+      if (name.empty()) {
+        return Status::InvalidArgument(
+            "cannot save index: empty concept label name");
+      }
+      *out << ' ' << EscapeLabelName(name);
     }
     *out << '\n';
     for (BlockId b : blocks) {
-      *out << "block " << dict.Name(cg.BlockLabel(b)) << ' '
+      const std::string& name = dict.Name(cg.BlockLabel(b));
+      if (name.empty()) {
+        return Status::InvalidArgument(
+            "cannot save index: empty block label name");
+      }
+      *out << "block " << EscapeLabelName(name) << ' '
            << cg.Members(b).size();
       for (NodeId v : cg.Members(b)) {
         *out << ' ' << v;
@@ -128,8 +195,12 @@ Status LoadIndex(std::istream* in, const Graph& g, const OntologyGraph& o,
         return Status::Corruption("bad concepts record");
       }
       std::string name;
+      std::string unescaped;
       while (ls >> name) {
-        concepts.push_back(dict->Intern(name));
+        if (!UnescapeLabelName(name, &unescaped)) {
+          return Status::Corruption("bad label escape in concepts record");
+        }
+        concepts.push_back(dict->Intern(unescaped));
       }
       if (concepts.size() != num_concepts) {
         return Status::Corruption("concept count mismatch");
@@ -149,6 +220,10 @@ Status LoadIndex(std::istream* in, const Graph& g, const OntologyGraph& o,
       if (!(ls >> tag >> label >> count) || tag != "block" || count == 0) {
         return Status::Corruption("bad block record");
       }
+      std::string label_name;
+      if (!UnescapeLabelName(label, &label_name)) {
+        return Status::Corruption("bad label escape in block record");
+      }
       std::vector<NodeId> members;
       members.reserve(count);
       uint64_t v = 0;
@@ -166,7 +241,7 @@ Status LoadIndex(std::istream* in, const Graph& g, const OntologyGraph& o,
         return Status::Corruption("block member count mismatch");
       }
       covered += members.size();
-      blocks.emplace_back(dict->Intern(label), std::move(members));
+      blocks.emplace_back(dict->Intern(label_name), std::move(members));
     }
     if (covered != g.num_nodes()) {
       return Status::Corruption("partition does not cover the graph");
@@ -177,6 +252,14 @@ Status LoadIndex(std::istream* in, const Graph& g, const OntologyGraph& o,
     if (!graphs.back().Validate()) {
       return Status::Corruption(
           "index file does not match the graph (invariants violated)");
+    }
+  }
+  // A well-formed file ends exactly after the last conceptgraph's blocks;
+  // anything further (besides blank lines from a trailing newline) means
+  // the file was truncated mid-write, concatenated, or the counts lied.
+  while (std::getline(*in, line)) {
+    if (!line.empty()) {
+      return Status::Corruption("trailing garbage after index records");
     }
   }
   *out = OntologyIndex::FromParts(g, o, options, std::move(graphs));

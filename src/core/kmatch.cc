@@ -40,11 +40,14 @@ bool LabelsInclude(Graph::EdgeLabelView sup, Graph::EdgeLabelView sub) {
 
 // Read-only state shared by every root-partition search of one query:
 // the matching order, its optimistic suffix bounds, and the inputs.
+// `exec` (possibly null) is the query's shared deadline / cancellation
+// block; each worker polls it through its own CancelCheck.
 struct SearchContext {
   const Graph& query;
   const Graph& target;
   const std::vector<std::vector<Candidate>>& candidates;
   const QueryOptions& options;
+  const ExecControl* exec;
   std::vector<NodeId> order;
   std::vector<double> suffix_best;
 };
@@ -106,7 +109,8 @@ void BuildSuffixBounds(SearchContext* ctx) {
 // every root the worker processes, so the hot path never allocates.
 class Searcher {
  public:
-  explicit Searcher(const SearchContext& ctx) : ctx_(ctx) {
+  explicit Searcher(const SearchContext& ctx)
+      : ctx_(ctx), check_(ctx.exec) {
     assign_.assign(ctx_.query.num_nodes(), kInvalidNode);
     used_.assign(ctx_.target.num_nodes(), false);
   }
@@ -134,6 +138,12 @@ class Searcher {
     used_[c.node] = false;
     assign_[q] = kInvalidNode;
   }
+
+  // Immediate deadline/cancel poll, used between root partitions.  Once a
+  // stop latches, SearchRoot degenerates to a no-op, so callers should
+  // stop handing out roots.
+  bool PollStop() { return check_.StopNow(); }
+  StopReason stop_reason() const { return check_.reason(); }
 
   const std::vector<Match>& pool() const { return pool_; }
   size_t steps() const { return steps_; }
@@ -209,6 +219,11 @@ class Searcher {
   void Recurse(size_t depth, double score) {
     if (truncated_) return;
     ++steps_;
+    // Cooperative deadline/cancel poll: one decrement + branch per step,
+    // the clock/token are consulted only every CancelCheck stride.  On
+    // stop the recursion unwinds like truncation — matches already in
+    // pool_ were fully verified and stay.
+    if (check_.Stop()) return;
     if (ctx_.options.max_search_steps > 0 &&
         steps_ > ctx_.options.max_search_steps) {
       truncated_ = true;
@@ -236,11 +251,12 @@ class Searcher {
       Recurse(depth + 1, score + c.sim);
       used_[c.node] = false;
       assign_[q] = kInvalidNode;
-      if (truncated_) return;
+      if (truncated_ || check_.reason() != StopReason::kNone) return;
     }
   }
 
   const SearchContext& ctx_;
+  CancelCheck check_;
   std::vector<NodeId> assign_;
   std::vector<bool> used_;
   std::vector<Match> pool_;  // kept sorted by MatchBetter when k > 0
@@ -267,7 +283,8 @@ void MergeTopK(std::vector<Match>* best, std::vector<Match>&& own, size_t k) {
 std::vector<Match> KMatchOnGraph(
     const Graph& query, const Graph& target,
     const std::vector<std::vector<Candidate>>& candidates,
-    const QueryOptions& options, KMatchStats* stats) {
+    const QueryOptions& options, KMatchStats* stats,
+    const ExecControl* exec) {
   if (stats != nullptr) {
     *stats = KMatchStats();
   }
@@ -278,7 +295,7 @@ std::vector<Match> KMatchOnGraph(
     if (candidates[u].empty()) return {};
   }
 
-  SearchContext ctx{query, target, candidates, options, {}, {}};
+  SearchContext ctx{query, target, candidates, options, exec, {}, {}};
   BuildOrder(&ctx);
   BuildSuffixBounds(&ctx);
   const std::vector<Candidate>& roots = candidates[ctx.order[0]];
@@ -288,6 +305,16 @@ std::vector<Match> KMatchOnGraph(
   std::atomic<size_t> total_found{0};
   std::atomic<bool> any_truncated{false};
   std::atomic<size_t> skipped{0};
+  // Highest-precedence stop reason observed by any worker (monotone
+  // CAS-max; kCancelled > kDeadlineExceeded > kNone).
+  std::atomic<uint8_t> stop_reason{0};
+  auto merge_stop = [&stop_reason](StopReason r) {
+    uint8_t v = static_cast<uint8_t>(r);
+    uint8_t cur = stop_reason.load(std::memory_order_relaxed);
+    while (v > cur && !stop_reason.compare_exchange_weak(
+                          cur, v, std::memory_order_relaxed)) {
+    }
+  };
 
   // Root partition 0 runs first on the calling thread; its pool seeds the
   // pruning threshold of every other partition.  The seed is the ONLY
@@ -299,6 +326,7 @@ std::vector<Match> KMatchOnGraph(
   total_steps += first_searcher.steps();
   total_found += first_searcher.found();
   if (first_searcher.truncated()) any_truncated = true;
+  merge_stop(first_searcher.stop_reason());
 
   std::vector<Match> best;
   first_searcher.ExtractOwn(roots[0].node, &best);
@@ -328,6 +356,10 @@ std::vector<Match> KMatchOnGraph(
       std::vector<Match> own;
       for (size_t i = next_root.fetch_add(1); i < num_roots;
            i = next_root.fetch_add(1)) {
+        // A latched stop (this worker's or a sibling's, visible through
+        // the shared ExecControl) ends root hand-out: remaining
+        // partitions are abandoned, not searched.
+        if (searcher.PollStop()) break;
         if (options.k > 0) {
           double bound = roots[i].sim + ctx.suffix_best[1];
           if (bound < threshold.load(std::memory_order_relaxed) - kScoreEps) {
@@ -355,6 +387,7 @@ std::vector<Match> KMatchOnGraph(
           }
         }
       }
+      merge_stop(searcher.stop_reason());
     });
   }
 
@@ -365,6 +398,7 @@ std::vector<Match> KMatchOnGraph(
     stats->search_steps = total_steps.load();
     stats->matches_found = total_found.load();
     stats->truncated = any_truncated.load();
+    stats->stopped = static_cast<StopReason>(stop_reason.load());
     stats->root_partitions = num_roots;
     stats->partitions_skipped = skipped.load();
   }
@@ -372,13 +406,14 @@ std::vector<Match> KMatchOnGraph(
 }
 
 std::vector<Match> KMatch(const Graph& query, const FilterResult& filter,
-                          const QueryOptions& options, KMatchStats* stats) {
+                          const QueryOptions& options, KMatchStats* stats,
+                          const ExecControl* exec) {
   if (stats != nullptr) {
     *stats = KMatchStats();
   }
   if (filter.no_match) return {};
-  std::vector<Match> local =
-      KMatchOnGraph(query, filter.gv.graph, filter.candidates, options, stats);
+  std::vector<Match> local = KMatchOnGraph(
+      query, filter.gv.graph, filter.candidates, options, stats, exec);
   for (Match& m : local) {
     for (NodeId& v : m.mapping) {
       v = filter.gv.to_original[v];

@@ -29,6 +29,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/deadline.h"
 #include "core/filtering.h"
 #include "core/match.h"
 #include "core/options.h"
@@ -44,6 +45,10 @@ struct KMatchStats {
   // True when max_search_steps stopped the enumeration early (any
   // partition, under parallel execution).
   bool truncated = false;
+  // Non-kNone when a deadline or cancellation stopped the enumeration
+  // early (any partition).  Every match returned is still fully verified;
+  // only completeness of the set is lost.
+  StopReason stopped = StopReason::kNone;
   // Candidates of the first order node, i.e. independently searchable
   // subtrees.
   size_t root_partitions = 0;
@@ -58,9 +63,17 @@ struct KMatchStats {
 // (`filter.gv` + `filter.candidates`).  Returned matches use ORIGINAL data
 // graph node ids (translated via filter.gv.to_original) and are sorted by
 // MatchBetter.  With options.k == 0 all matches are returned.
+//
+// `exec` (optional) carries the query's deadline / cancellation state;
+// the search polls it cooperatively (amortized over ~256 steps, see
+// common/deadline.h) and, when it fires, returns the valid matches found
+// so far with stats->stopped set.  A stopped result is a subset of the
+// unconstrained one and therefore timing-dependent — the bit-identical
+// determinism contract (DESIGN.md §7) applies only to runs that complete.
 std::vector<Match> KMatch(const Graph& query, const FilterResult& filter,
                           const QueryOptions& options,
-                          KMatchStats* stats = nullptr);
+                          KMatchStats* stats = nullptr,
+                          const ExecControl* exec = nullptr);
 
 // Lower-level entry point used by baselines and tests: matches `query`
 // against `target` given explicit candidate lists (target-local ids,
@@ -68,7 +81,8 @@ std::vector<Match> KMatch(const Graph& query, const FilterResult& filter,
 std::vector<Match> KMatchOnGraph(
     const Graph& query, const Graph& target,
     const std::vector<std::vector<Candidate>>& candidates,
-    const QueryOptions& options, KMatchStats* stats = nullptr);
+    const QueryOptions& options, KMatchStats* stats = nullptr,
+    const ExecControl* exec = nullptr);
 
 }  // namespace osq
 

@@ -93,6 +93,14 @@ void OntologyIndex::RegisterDataLabel(LabelId label) {
   ++data_label_count_[label];
 }
 
+void OntologyIndex::Rebind(const Graph* g, const OntologyGraph* o) {
+  g_ = g;
+  o_ = o;
+  for (ConceptGraph& cg : graphs_) {
+    cg.Rebind(g, o);
+  }
+}
+
 size_t OntologyIndex::TotalSize() const {
   size_t total = 0;
   for (const ConceptGraph& cg : graphs_) {

@@ -71,6 +71,13 @@ class OntologyIndex {
   // Maintenance hook: records the label of a node added after Build.
   void RegisterDataLabel(LabelId label);
 
+  // Re-points the borrowed data-graph / ontology pointers (here and in
+  // every concept graph) at relocated instances.  `g` and `o` must be the
+  // same logical graphs the index was built over — only their addresses
+  // may differ.  Called by QueryEngine's move operations after the
+  // by-value graphs relocate.
+  void Rebind(const Graph* g, const OntologyGraph* o);
+
   // Validates every concept graph; test / debugging aid.
   bool Validate() const;
 

@@ -6,6 +6,7 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "common/deadline.h"
 #include "ontology/similarity.h"
 
 namespace osq {
@@ -74,6 +75,19 @@ struct QueryOptions {
   // threads".  The match set and scores are identical for every value —
   // see DESIGN.md, "Parallel execution".
   size_t num_threads = 1;
+  // Wall-clock budget for the whole evaluation, milliseconds (0 = none).
+  // When it expires the filtering fixpoints and the KMatch enumeration
+  // stop cooperatively and the query returns the valid matches found so
+  // far, tagged QueryResult::completeness == kDeadlineExceeded.  Unlike
+  // max_search_steps, a deadline makes the *set* of returned matches
+  // timing-dependent (each one is still a verified match).  See DESIGN.md
+  // §9.
+  double deadline_ms = 0.0;
+  // Optional cooperative cancellation handle.  Default-constructed = not
+  // cancellable; pass CancelToken::Cancellable() and call RequestCancel()
+  // from any thread to abandon the evaluation early (the result comes
+  // back with completeness == kCancelled).
+  CancelToken cancel;
 };
 
 // Parameters of the concurrent serving layer (serve/query_service.h).
@@ -84,8 +98,19 @@ struct ServeOptions {
   size_t cache_capacity = 256;
   // Also cache QueryResults whose status is non-OK (rejected queries).
   // They are deterministic too, but a stream of distinct malformed
-  // queries would evict useful entries, so default off.
+  // queries would evict useful entries, so default off.  Partial results
+  // (deadline_exceeded / cancelled) are NEVER cached regardless of this
+  // flag — they are timing-dependent and must not be served as complete.
   bool cache_errors = false;
+  // Admission control: maximum queries evaluating concurrently (0 =
+  // unlimited).  When the limit is reached, further queries are shed
+  // immediately with Status kUnavailable (ServedResult::shed) instead of
+  // queueing behind the snapshot lock unboundedly.
+  size_t max_inflight = 0;
+  // Deadline applied to queries that do not carry their own
+  // QueryOptions::deadline_ms (0 = none).  A per-query deadline always
+  // wins.
+  double default_deadline_ms = 0.0;
 };
 
 }  // namespace osq

@@ -10,12 +10,33 @@ namespace osq {
 
 QueryEngine::QueryEngine(Graph g, OntologyGraph o,
                          const IndexOptions& options)
-    : graph_(std::make_unique<Graph>(std::move(g))),
-      ontology_(std::make_unique<OntologyGraph>(std::move(o))) {
+    : graph_(std::move(g)), ontology_(std::move(o)) {
   WallTimer timer;
   index_ = std::make_unique<OntologyIndex>(
-      OntologyIndex::Build(*graph_, *ontology_, options, &build_stats_));
+      OntologyIndex::Build(graph_, ontology_, options, &build_stats_));
   index_build_ms_ = timer.ElapsedMillis();
+}
+
+QueryEngine::QueryEngine(QueryEngine&& other) noexcept
+    : graph_(std::move(other.graph_)),
+      ontology_(std::move(other.ontology_)),
+      index_(std::move(other.index_)),
+      build_stats_(std::move(other.build_stats_)),
+      index_build_ms_(other.index_build_ms_),
+      version_(other.version_) {
+  if (index_ != nullptr) index_->Rebind(&graph_, &ontology_);
+}
+
+QueryEngine& QueryEngine::operator=(QueryEngine&& other) noexcept {
+  if (this == &other) return *this;
+  graph_ = std::move(other.graph_);
+  ontology_ = std::move(other.ontology_);
+  index_ = std::move(other.index_);
+  build_stats_ = std::move(other.build_stats_);
+  index_build_ms_ = other.index_build_ms_;
+  version_ = other.version_;
+  if (index_ != nullptr) index_->Rebind(&graph_, &ontology_);
+  return *this;
 }
 
 QueryResult QueryEngine::Query(const Graph& query,
@@ -25,13 +46,21 @@ QueryResult QueryEngine::Query(const Graph& query,
   if (!result.status.ok()) {
     return result;
   }
+  // One control block per query: the absolute deadline is fixed here so
+  // filtering and verification share the same budget.
+  ExecControl exec;
+  exec.deadline = Deadline::AfterMillis(options.deadline_ms);
+  exec.cancel = options.cancel;
   WallTimer timer;
-  FilterResult filter = GviewFilter(*index_, query, options);
+  FilterResult filter = GviewFilter(*index_, query, options, &exec);
   result.filter_ms = timer.ElapsedMillis();
   result.filter_stats = filter.stats;
   timer.Restart();
-  result.matches = KMatch(query, filter, options, &result.verify_stats);
+  result.matches =
+      KMatch(query, filter, options, &result.verify_stats, &exec);
   result.verify_ms = timer.ElapsedMillis();
+  result.completeness =
+      MergeStopReason(filter.stats.stopped, result.verify_stats.stopped);
   return result;
 }
 
@@ -50,22 +79,21 @@ QueryResult QueryEngine::QueryPattern(std::string_view pattern,
 
 bool QueryEngine::ApplyUpdate(const GraphUpdate& update,
                               MaintenanceStats* stats) {
-  bool applied = osq::ApplyUpdate(graph_.get(), index_.get(), update, stats);
+  bool applied = osq::ApplyUpdate(&graph_, index_.get(), update, stats);
   if (applied) ++version_;
   return applied;
 }
 
 MaintenanceStats QueryEngine::ApplyUpdates(
     const std::vector<GraphUpdate>& updates) {
-  MaintenanceStats stats =
-      osq::ApplyUpdates(graph_.get(), index_.get(), updates);
+  MaintenanceStats stats = osq::ApplyUpdates(&graph_, index_.get(), updates);
   if (stats.applied > 0) ++version_;
   return stats;
 }
 
 NodeId QueryEngine::AddNode(LabelId label) {
   ++version_;
-  return AddNodeWithIndex(graph_.get(), index_.get(), label);
+  return AddNodeWithIndex(&graph_, index_.get(), label);
 }
 
 }  // namespace osq

@@ -21,6 +21,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/status.h"
 #include "core/filtering.h"
 #include "core/index_maintenance.h"
@@ -39,11 +40,20 @@ struct QueryResult {
   Status status;
   // Top-K matches, best first (original data-graph node ids).
   std::vector<Match> matches;
+  // The completeness contract (DESIGN.md §9): kNone means `matches` is
+  // the exact answer.  kDeadlineExceeded / kCancelled mean the evaluation
+  // was interrupted — every returned match is still fully verified and
+  // valid, but the set may be a strict subset of the true top-K (and is
+  // timing-dependent).  Partial results must never be cached or otherwise
+  // treated as the exact answer.
+  StopReason completeness = StopReason::kNone;
   FilterStats filter_stats;
   KMatchStats verify_stats;
   // Phase timings, milliseconds.
   double filter_ms = 0.0;
   double verify_ms = 0.0;
+
+  bool complete() const { return completeness == StopReason::kNone; }
 };
 
 class QueryEngine {
@@ -53,11 +63,15 @@ class QueryEngine {
 
   QueryEngine(const QueryEngine&) = delete;
   QueryEngine& operator=(const QueryEngine&) = delete;
-  QueryEngine(QueryEngine&&) = default;
-  QueryEngine& operator=(QueryEngine&&) = default;
+  // Moves rebind the index: the graphs live by value inside the engine,
+  // so moving relocates them, and the index's borrowed Graph* /
+  // OntologyGraph* are re-pointed at the new owner's members
+  // (OntologyIndex::Rebind).  A moved-from engine must not be queried.
+  QueryEngine(QueryEngine&& other) noexcept;
+  QueryEngine& operator=(QueryEngine&& other) noexcept;
 
-  const Graph& graph() const { return *graph_; }
-  const OntologyGraph& ontology() const { return *ontology_; }
+  const Graph& graph() const { return graph_; }
+  const OntologyGraph& ontology() const { return ontology_; }
   const OntologyIndex& index() const { return *index_; }
   const IndexBuildStats& build_stats() const { return build_stats_; }
   double index_build_ms() const { return index_build_ms_; }
@@ -86,11 +100,13 @@ class QueryEngine {
   uint64_t version() const { return version_; }
 
  private:
-  // unique_ptr keeps the graphs' addresses stable across engine moves; the
-  // index holds raw pointers into them, so moved engines (including
-  // move-assignment) keep a valid index — pinned by a regression test.
-  std::unique_ptr<Graph> graph_;
-  std::unique_ptr<OntologyGraph> ontology_;
+  // The graphs live by value; the index (heap-allocated so its own
+  // address is move-stable) borrows raw pointers into them and is rebound
+  // by the move operations above.  Historically the graphs sat behind
+  // unique_ptrs purely so moves kept the index's aliases alive by
+  // accident; the explicit rebind repairs that dependency.
+  Graph graph_;
+  OntologyGraph ontology_;
   std::unique_ptr<OntologyIndex> index_;
   IndexBuildStats build_stats_;
   double index_build_ms_ = 0.0;

@@ -3,6 +3,8 @@
 #include <mutex>
 #include <utility>
 
+#include "common/deadline.h"
+#include "common/status.h"
 #include "common/timer.h"
 
 namespace osq {
@@ -24,9 +26,35 @@ ServedResult QueryService::Query(const Graph& query,
                                  const QueryOptions& options) {
   ServedResult served;
   WallTimer total;
-  // The signature is pure function of the inputs — build it before taking
+
+  // Admission control: count this request against the in-flight bound and
+  // shed before taking the lock or touching the engine, so overload cannot
+  // pile up lock waiters.  The gauge may transiently overshoot the bound
+  // between the fetch_add and the rollback, but admitted requests never do.
+  inflight_.fetch_add(1, std::memory_order_relaxed);
+  if (options_.max_inflight > 0 &&
+      inflight_.load(std::memory_order_relaxed) > options_.max_inflight) {
+    inflight_.fetch_sub(1, std::memory_order_relaxed);
+    served.shed = true;
+    served.result.status = Status::Unavailable(
+        "query shed: service at max_inflight capacity");
+    served.version = version_.load(std::memory_order_acquire);
+    served.serve_us = total.ElapsedMicros();
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    return served;
+  }
+
+  // Service-level deadline: a request without its own deadline inherits
+  // the configured default.  The cache signature ignores deadlines (a
+  // complete result is deadline-invariant), so this never splits keys.
+  QueryOptions effective = options;
+  if (effective.deadline_ms <= 0.0 && options_.default_deadline_ms > 0.0) {
+    effective.deadline_ms = options_.default_deadline_ms;
+  }
+
+  // The signature is a pure function of the inputs — build it before taking
   // the lock to keep the critical section short.
-  std::string key = QuerySignature(query, options);
+  std::string key = QuerySignature(query, effective);
 
   WallTimer wait;
   std::shared_lock<std::shared_mutex> lock(mu_);
@@ -40,21 +68,41 @@ ServedResult QueryService::Query(const Graph& query,
   if (cache_.Lookup(key, served.version, &served.result)) {
     served.cache_hit = true;
   } else {
-    served.result = engine_.Query(query, options);
-    if (served.result.status.ok() || options_.cache_errors) {
+    served.result = engine_.Query(query, effective);
+    // Only complete results are cacheable: a degraded result reflects
+    // where the clock (or a cancel) happened to interrupt the search, and
+    // serving it later as a hit would silently drop matches forever.
+    if ((served.result.status.ok() || options_.cache_errors) &&
+        served.result.complete()) {
       cache_.Insert(key, served.version, served.result);
     }
   }
   lock.unlock();
+  inflight_.fetch_sub(1, std::memory_order_relaxed);
 
   served.serve_us = total.ElapsedMicros();
   queries_.fetch_add(1, std::memory_order_relaxed);
+  switch (served.result.completeness) {
+    case StopReason::kNone:
+      complete_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case StopReason::kDeadlineExceeded:
+      deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case StopReason::kCancelled:
+      cancelled_.fetch_add(1, std::memory_order_relaxed);
+      break;
+  }
   if (served.cache_hit) {
     hits_.fetch_add(1, std::memory_order_relaxed);
     hit_latency_.Record(served.serve_us);
   } else {
     misses_.fetch_add(1, std::memory_order_relaxed);
-    miss_latency_.Record(served.serve_us);
+    if (served.result.complete()) {
+      miss_latency_.Record(served.serve_us);
+    } else {
+      degraded_latency_.Record(served.serve_us);
+    }
   }
   return served;
 }
@@ -108,8 +156,15 @@ ServeStats QueryService::Stats() const {
   s.queries = queries_.load(std::memory_order_relaxed);
   s.cache_hits = hits_.load(std::memory_order_relaxed);
   s.cache_misses = misses_.load(std::memory_order_relaxed);
+  s.complete = complete_.load(std::memory_order_relaxed);
+  s.deadline_exceeded = deadline_exceeded_.load(std::memory_order_relaxed);
+  s.cancelled = cancelled_.load(std::memory_order_relaxed);
+  s.shed = shed_.load(std::memory_order_relaxed);
   s.cache_evictions = cache_.evictions();
-  s.cache_invalidations = invalidations_.load(std::memory_order_relaxed);
+  // Invalidations = writer's eager sweeps plus entries dropped lazily at
+  // lookup time when their version stamp no longer matched.
+  s.cache_invalidations = invalidations_.load(std::memory_order_relaxed) +
+                          cache_.stale_drops();
   s.update_batches = update_batches_.load(std::memory_order_relaxed);
   s.updates_applied = updates_applied_.load(std::memory_order_relaxed);
   s.version = version_.load(std::memory_order_acquire);
@@ -123,6 +178,7 @@ ServeStats QueryService::Stats() const {
       10.0;
   s.hit_latency = hit_latency_.Summarize();
   s.miss_latency = miss_latency_.Summarize();
+  s.degraded_latency = degraded_latency_.Summarize();
   return s;
 }
 

@@ -20,8 +20,16 @@
 //     phase timings and stats).
 //
 // Observability: every request records lock wait and end-to-end latency
-// into ServeStats (hit/miss split, p50/p90/p99); Stats() snapshots them
-// at any time without stopping traffic.  See DESIGN.md §8.
+// into ServeStats (hit/miss/degraded split, p50/p90/p99); Stats()
+// snapshots them at any time without stopping traffic.  See DESIGN.md §8.
+//
+// Overload protection (DESIGN.md §9): ServeOptions::max_inflight bounds
+// concurrently admitted queries; excess requests are shed immediately with
+// StatusCode::kUnavailable, never touching the lock, engine or cache.
+// ServeOptions::default_deadline_ms applies a deadline to requests that do
+// not carry their own; degraded results (deadline_exceeded / cancelled)
+// are returned to the caller but never inserted into the cache, so a
+// cache hit is always a complete result.
 
 #ifndef OSQ_SERVE_QUERY_SERVICE_H_
 #define OSQ_SERVE_QUERY_SERVICE_H_
@@ -45,6 +53,9 @@ struct ServedResult {
   QueryResult result;
   // True when the result came out of the cache without touching the engine.
   bool cache_hit = false;
+  // True when the request was rejected at admission (max_inflight exceeded);
+  // result.status is kUnavailable and no evaluation happened.
+  bool shed = false;
   // Snapshot version the result reflects (monotone; one mutating batch
   // advances it by one).
   uint64_t version = 0;
@@ -86,6 +97,12 @@ class QueryService {
 
   size_t cache_size() const { return cache_.size(); }
 
+  // Queries currently admitted and executing (cache probe + engine).
+  // Instantaneous gauge; useful for tests and load monitoring.
+  size_t inflight() const {
+    return inflight_.load(std::memory_order_relaxed);
+  }
+
   // Direct engine access for setup / inspection.  NOT synchronized —
   // callers must guarantee no concurrent Query/Apply* is in flight.
   const QueryEngine& engine_unsynchronized() const { return engine_; }
@@ -102,10 +119,17 @@ class QueryService {
   std::atomic<uint64_t> version_{0};
   ResultCache cache_;
 
+  // Admission gauge: queries past the shed check and not yet finished.
+  std::atomic<size_t> inflight_{0};
+
   // Counters (relaxed; see serve_stats.h for the rationale).
   std::atomic<uint64_t> queries_{0};
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> complete_{0};
+  std::atomic<uint64_t> deadline_exceeded_{0};
+  std::atomic<uint64_t> cancelled_{0};
+  std::atomic<uint64_t> shed_{0};
   std::atomic<uint64_t> invalidations_{0};
   std::atomic<uint64_t> update_batches_{0};
   std::atomic<uint64_t> updates_applied_{0};
@@ -113,6 +137,7 @@ class QueryService {
   std::atomic<uint64_t> write_wait_tenth_us_{0};
   LatencyHistogram hit_latency_;
   LatencyHistogram miss_latency_;
+  LatencyHistogram degraded_latency_;
 };
 
 }  // namespace osq

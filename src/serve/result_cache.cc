@@ -40,6 +40,7 @@ bool ResultCache::Lookup(const std::string& key, uint64_t version,
   if (it->second->version != version) {
     lru_.erase(it->second);
     by_key_.erase(it);
+    ++stale_drops_;
     return false;
   }
   lru_.splice(lru_.begin(), lru_, it->second);  // mark most recently used
@@ -90,6 +91,11 @@ size_t ResultCache::size() const {
 uint64_t ResultCache::evictions() const {
   std::lock_guard<std::mutex> lock(mu_);
   return evictions_;
+}
+
+uint64_t ResultCache::stale_drops() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stale_drops_;
 }
 
 }  // namespace osq

@@ -68,6 +68,10 @@ class ResultCache {
   size_t size() const;
   size_t capacity() const { return capacity_; }
   uint64_t evictions() const;
+  // Stale entries dropped lazily at Lookup time (version-stamp mismatch);
+  // the serving layer folds these into its invalidation counter so eager
+  // sweeps and lazy drops are reported uniformly.
+  uint64_t stale_drops() const;
 
  private:
   struct Entry {
@@ -82,6 +86,7 @@ class ResultCache {
   std::unordered_map<std::string, std::list<Entry>::iterator> by_key_;
   size_t capacity_;
   uint64_t evictions_ = 0;
+  uint64_t stale_drops_ = 0;
 };
 
 }  // namespace osq

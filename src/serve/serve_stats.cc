@@ -108,6 +108,14 @@ std::string ServeStats::ToString() const {
                 static_cast<unsigned long long>(version));
   out.append(line);
   std::snprintf(line, sizeof(line),
+                "completion: %llu complete, %llu deadline_exceeded, "
+                "%llu cancelled, %llu shed\n",
+                static_cast<unsigned long long>(complete),
+                static_cast<unsigned long long>(deadline_exceeded),
+                static_cast<unsigned long long>(cancelled),
+                static_cast<unsigned long long>(shed));
+  out.append(line);
+  std::snprintf(line, sizeof(line),
                 "cache: %llu evictions, %llu invalidations\n",
                 static_cast<unsigned long long>(cache_evictions),
                 static_cast<unsigned long long>(cache_invalidations));
@@ -123,6 +131,7 @@ std::string ServeStats::ToString() const {
   out.append(line);
   AppendLatency(&out, "hit", hit_latency);
   AppendLatency(&out, "miss", miss_latency);
+  AppendLatency(&out, "degr", degraded_latency);
   return out;
 }
 

@@ -34,8 +34,17 @@ struct ServeStats {
   uint64_t queries = 0;
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
+  // Completion-status split of the served queries (cache hits are always
+  // complete — partial results are never cached).
+  uint64_t complete = 0;
+  uint64_t deadline_exceeded = 0;
+  uint64_t cancelled = 0;
+  // Requests rejected at admission (ServeOptions::max_inflight exceeded);
+  // NOT included in `queries` — they never reached the engine or cache.
+  uint64_t shed = 0;
   // Cache churn: capacity evictions vs entries dropped because an update
-  // advanced the snapshot version past them.
+  // advanced the snapshot version past them.  Invalidations count both the
+  // writer's eager sweep and stale entries dropped lazily at lookup time.
   uint64_t cache_evictions = 0;
   uint64_t cache_invalidations = 0;
   // Mutations: one batch per ApplyUpdate/ApplyUpdates/AddNode call that
@@ -48,9 +57,12 @@ struct ServeStats {
   // side of the snapshot lock, microseconds.
   double read_wait_us = 0.0;
   double write_wait_us = 0.0;
-  // End-to-end service latency (lock wait + cache probe + engine).
+  // End-to-end service latency (lock wait + cache probe + engine), split
+  // by completion status: cache hits, complete cold evaluations, and
+  // degraded (deadline_exceeded / cancelled) evaluations.
   LatencySummary hit_latency;
   LatencySummary miss_latency;
+  LatencySummary degraded_latency;
 
   // Multi-line human-readable rendering for CLI / bench output.
   std::string ToString() const;

@@ -1,0 +1,360 @@
+// Deadline / cancellation stress suite (ctest label `slow`; also run
+// under ThreadSanitizer by scripts/tier1.sh).
+//
+// The explosive instance is a complete digraph over one label queried
+// with a same-labeled triangle at k = 0 ("all matches"): the enumeration
+// visits every injective node triple, so evaluation cost grows cubically
+// while every emitted match stays trivially verifiable.  On it we check
+// the ISSUE-4 acceptance bars:
+//   * every deadline-bounded query returns within deadline + small slack;
+//   * every match in a deadline_exceeded result also appears in the
+//     unconstrained evaluation (truncation, never corruption);
+//   * partial results are never served from the cache as complete;
+//   * an overloaded service sheds with a distinct status, and the
+//     completion-split counters stay consistent under concurrency.
+
+#include <atomic>
+#include <chrono>
+#include <set>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/deadline.h"
+#include "common/timer.h"
+#include "core/query_engine.h"
+#include "graph/label_dictionary.h"
+#include "serve/query_service.h"
+
+namespace osq {
+namespace {
+
+struct CliqueFixture {
+  LabelDictionary dict;
+  Graph g;
+  OntologyGraph o;
+  Graph query;
+};
+
+CliqueFixture MakeCliqueFixture(size_t n) {
+  CliqueFixture f;
+  LabelId x = f.dict.Intern("x");
+  LabelId e = f.dict.Intern("e");
+  f.o.AddLabel(x);
+  for (size_t v = 0; v < n; ++v) f.g.AddNode(x);
+  for (size_t a = 0; a < n; ++a) {
+    for (size_t b = 0; b < n; ++b) {
+      if (a != b) f.g.AddEdge(static_cast<NodeId>(a),
+                              static_cast<NodeId>(b), e);
+    }
+  }
+  f.query.AddNode(x);
+  f.query.AddNode(x);
+  f.query.AddNode(x);
+  f.query.AddEdge(0, 1, e);
+  f.query.AddEdge(1, 2, e);
+  f.query.AddEdge(2, 0, e);
+  return f;
+}
+
+QueryOptions CliqueOptions() {
+  QueryOptions options;
+  options.theta = 0.5;
+  options.k = 0;  // no top-K pruning: the search walks the whole space
+  options.semantics = MatchSemantics::kHomomorphicEdges;
+  return options;
+}
+
+size_t AllTriples(size_t n) { return n * (n - 1) * (n - 2); }
+
+// Acceptance bar: an explosive query with a deadline must come back within
+// deadline + slack, and at least one size must actually get interrupted
+// (i.e. the bound is doing work, not vacuous).  50 ms slack is generous
+// against the stride-256 poll lag plus scheduler noise.
+TEST(DeadlineStressTest, ExplosiveQueryReturnsWithinDeadlinePlusSlack) {
+  constexpr double kDeadlineMs = 10.0;
+  constexpr double kSlackMs = 50.0;
+  bool saw_interruption = false;
+  for (size_t n : {40u, 60u, 80u}) {
+    CliqueFixture f = MakeCliqueFixture(n);
+    QueryEngine engine(std::move(f.g), std::move(f.o), IndexOptions{});
+    for (size_t threads : {1u, 4u}) {
+      QueryOptions options = CliqueOptions();
+      options.deadline_ms = kDeadlineMs;
+      options.num_threads = threads;
+      WallTimer timer;
+      QueryResult r = engine.Query(f.query, options);
+      double elapsed_ms = timer.ElapsedMillis();
+      ASSERT_TRUE(r.status.ok());
+      EXPECT_LE(elapsed_ms, kDeadlineMs + kSlackMs)
+          << "n=" << n << " threads=" << threads;
+      if (!r.complete()) {
+        saw_interruption = true;
+        EXPECT_EQ(r.completeness, StopReason::kDeadlineExceeded);
+        EXPECT_LT(r.matches.size(), AllTriples(n));
+      } else {
+        EXPECT_EQ(r.matches.size(), AllTriples(n));
+      }
+    }
+  }
+  // If even the 80-node clique (492k matches, each heap-allocated) fits in
+  // 10 ms, the machine is implausibly fast; treat it as a test bug.
+  EXPECT_TRUE(saw_interruption);
+}
+
+// Acceptance bar: every match in an interrupted result appears in the
+// unconstrained evaluation of the same query — on an instance small
+// enough to enumerate exactly.
+TEST(DeadlineStressTest, InterruptedMatchesAreSubsetOfUnconstrained) {
+  constexpr size_t kN = 14;
+  CliqueFixture f = MakeCliqueFixture(kN);
+  QueryEngine engine(std::move(f.g), std::move(f.o), IndexOptions{});
+
+  QueryResult full = engine.Query(f.query, CliqueOptions());
+  ASSERT_TRUE(full.status.ok());
+  ASSERT_EQ(full.matches.size(), AllTriples(kN));
+  std::set<std::vector<NodeId>> exact;
+  for (const Match& m : full.matches) exact.insert(m.mapping);
+
+  // Sweep deadlines from "expired on arrival" to "plenty": at every point
+  // on the spectrum the result is a subset of the exact answer.
+  for (double deadline_ms : {1e-6, 0.05, 0.2, 1.0, 5.0, 1000.0}) {
+    for (size_t threads : {1u, 4u}) {
+      QueryOptions options = CliqueOptions();
+      options.deadline_ms = deadline_ms;
+      options.num_threads = threads;
+      QueryResult r = engine.Query(f.query, options);
+      ASSERT_TRUE(r.status.ok());
+      std::set<std::vector<NodeId>> got;
+      for (const Match& m : r.matches) {
+        EXPECT_TRUE(exact.count(m.mapping))
+            << "invalid match under deadline " << deadline_ms;
+        got.insert(m.mapping);
+      }
+      EXPECT_EQ(got.size(), r.matches.size()) << "duplicate matches";
+      if (r.complete()) {
+        EXPECT_EQ(r.matches.size(), exact.size());
+      }
+    }
+  }
+}
+
+// Mid-flight cancellation from another thread: the query unwinds promptly
+// and whatever it returns is valid.
+TEST(DeadlineStressTest, MidFlightCancellationUnwindsWithValidMatches) {
+  constexpr size_t kN = 30;
+  CliqueFixture f = MakeCliqueFixture(kN);
+  QueryEngine engine(std::move(f.g), std::move(f.o), IndexOptions{});
+
+  QueryOptions options = CliqueOptions();
+  options.num_threads = 2;
+  options.cancel = CancelToken::Cancellable();
+
+  QueryResult r;
+  std::thread canceller([&options] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    options.cancel.RequestCancel();
+  });
+  WallTimer timer;
+  r = engine.Query(f.query, options);
+  double elapsed_ms = timer.ElapsedMillis();
+  canceller.join();
+
+  ASSERT_TRUE(r.status.ok());
+  // Either the query beat the canceller (complete) or it was interrupted;
+  // both must be flagged truthfully and return only verifiable matches.
+  if (r.complete()) {
+    EXPECT_EQ(r.matches.size(), AllTriples(kN));
+  } else {
+    EXPECT_EQ(r.completeness, StopReason::kCancelled);
+    EXPECT_LE(elapsed_ms, 2.0 + 50.0);
+  }
+  for (const Match& m : r.matches) {
+    ASSERT_EQ(m.mapping.size(), 3u);
+    EXPECT_NE(m.mapping[0], m.mapping[1]);
+    EXPECT_NE(m.mapping[1], m.mapping[2]);
+    EXPECT_NE(m.mapping[0], m.mapping[2]);
+  }
+}
+
+// Acceptance bar: a degraded result must never be served from the cache
+// as a complete one — even when the same signature is queried repeatedly
+// and later completes.
+TEST(DeadlineStressTest, PartialResultsNeverServedFromCache) {
+  constexpr size_t kN = 40;
+  CliqueFixture f = MakeCliqueFixture(kN);
+  QueryService service(
+      QueryEngine(std::move(f.g), std::move(f.o), IndexOptions{}),
+      ServeOptions{});
+
+  // Degraded runs: never cached, never hits.
+  QueryOptions bounded = CliqueOptions();
+  bounded.deadline_ms = 1e-6;
+  for (int i = 0; i < 3; ++i) {
+    ServedResult served = service.Query(f.query, bounded);
+    EXPECT_FALSE(served.cache_hit);
+    EXPECT_FALSE(served.result.complete());
+  }
+  EXPECT_EQ(service.cache_size(), 0u);
+
+  // The same signature evaluated without a deadline completes and caches;
+  // the subsequent hit must carry the complete result.
+  ServedResult cold = service.Query(f.query, CliqueOptions());
+  ASSERT_TRUE(cold.result.complete());
+  EXPECT_FALSE(cold.cache_hit);
+  ServedResult hot = service.Query(f.query, CliqueOptions());
+  EXPECT_TRUE(hot.cache_hit);
+  EXPECT_TRUE(hot.result.complete());
+  EXPECT_EQ(hot.result.matches.size(), AllTriples(kN));
+
+  ServeStats stats = service.Stats();
+  EXPECT_EQ(stats.deadline_exceeded, 3u);
+  EXPECT_EQ(stats.complete, 2u);
+  EXPECT_EQ(stats.degraded_latency.count, 3u);
+}
+
+// Acceptance bar: an overloaded service sheds with a distinct status.
+// Two "blocker" threads loop un-deadlined explosive queries through a
+// service capped at max_inflight = 2 and an empty cache; the main thread
+// waits until both slots are visibly occupied and then probes until it
+// observes a shed.
+TEST(DeadlineStressTest, OverloadedServiceShedsWithDistinctStatus) {
+  constexpr size_t kN = 50;
+  CliqueFixture f = MakeCliqueFixture(kN);
+  ServeOptions serve;
+  serve.max_inflight = 2;
+  serve.cache_capacity = 0;  // keep blockers slow: no instant cache hits
+  QueryService service(
+      QueryEngine(std::move(f.g), std::move(f.o), IndexOptions{}), serve);
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> blocker_queries{0};
+  std::atomic<uint64_t> blocker_shed{0};
+  std::vector<std::thread> blockers;
+  for (int b = 0; b < 2; ++b) {
+    blockers.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        ServedResult served = service.Query(f.query, CliqueOptions());
+        if (served.shed) {
+          blocker_shed.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          blocker_queries.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  // Wait until both blocker queries are visibly admitted at once.  (Check
+  // a captured flag, not inflight() again — the gauge can drop between the
+  // loop exit and an assertion.)
+  bool saturated = false;
+  WallTimer setup;
+  while (setup.ElapsedMillis() < 5000.0) {
+    if (service.inflight() >= 2) {
+      saturated = true;
+      break;
+    }
+    std::this_thread::yield();
+  }
+  ASSERT_TRUE(saturated) << "blockers never saturated the service";
+
+  // Probe with a tiny deadline so any race-admitted probe finishes fast.
+  QueryOptions probe = CliqueOptions();
+  probe.deadline_ms = 0.1;
+  uint64_t probes_admitted = 0;
+  bool saw_shed = false;
+  for (int attempt = 0; attempt < 500 && !saw_shed; ++attempt) {
+    ServedResult served = service.Query(f.query, probe);
+    if (served.shed) {
+      saw_shed = true;
+      EXPECT_EQ(served.result.status.code(), StatusCode::kUnavailable);
+      EXPECT_TRUE(served.result.matches.empty());
+    } else {
+      ++probes_admitted;
+    }
+  }
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : blockers) t.join();
+  EXPECT_TRUE(saw_shed);
+
+  ServeStats stats = service.Stats();
+  EXPECT_GE(stats.shed, 1u);
+  // Shed requests are not "queries": the served counter covers exactly the
+  // admitted ones.
+  EXPECT_EQ(stats.queries,
+            blocker_queries.load() + probes_admitted);
+  EXPECT_EQ(stats.complete + stats.deadline_exceeded + stats.cancelled,
+            stats.queries);
+  EXPECT_EQ(service.inflight(), 0u);
+}
+
+// TSan workhorse: concurrent readers with mixed deadlines / cancellations,
+// a writer mutating the graph, and the stats counters staying consistent.
+TEST(DeadlineStressTest, ConcurrentDegradedTrafficIsRaceFreeAndConsistent) {
+  constexpr size_t kN = 24;
+  constexpr size_t kReaders = 4;
+  constexpr size_t kIters = 30;
+  CliqueFixture f = MakeCliqueFixture(kN);
+  ServeOptions serve;
+  serve.default_deadline_ms = 0.5;
+  QueryService service(
+      QueryEngine(std::move(f.g), std::move(f.o), IndexOptions{}), serve);
+
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    LabelId e = f.dict.Lookup("e");
+    uint64_t toggles = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      GraphUpdate update = toggles % 2 == 0 ? GraphUpdate::Delete(0, 1, e)
+                                            : GraphUpdate::Insert(0, 1, e);
+      service.ApplyUpdate(update);
+      ++toggles;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    if (toggles % 2 == 1) service.ApplyUpdate(GraphUpdate::Insert(0, 1, e));
+  });
+
+  std::atomic<uint64_t> issued{0};
+  std::vector<std::thread> readers;
+  for (size_t t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&, t] {
+      for (size_t it = 0; it < kIters; ++it) {
+        QueryOptions options = CliqueOptions();
+        // Mix the control modes deterministically per iteration.
+        switch ((it + t) % 3) {
+          case 0:  // inherit the service default deadline
+            break;
+          case 1:  // own, slightly longer deadline
+            options.deadline_ms = 2.0;
+            break;
+          case 2:  // cancel mid-flight from this thread's own token
+            options.cancel = CancelToken::Cancellable();
+            options.cancel.RequestCancel();
+            break;
+        }
+        ServedResult served = service.Query(f.query, options);
+        ASSERT_TRUE(served.result.status.ok());
+        issued.fetch_add(1, std::memory_order_relaxed);
+        for (const Match& m : served.result.matches) {
+          ASSERT_EQ(m.mapping.size(), 3u);
+        }
+      }
+    });
+  }
+  for (std::thread& t : readers) t.join();
+  stop.store(true, std::memory_order_release);
+  writer.join();
+
+  ServeStats stats = service.Stats();
+  EXPECT_EQ(stats.queries, issued.load());
+  EXPECT_EQ(stats.complete + stats.deadline_exceeded + stats.cancelled,
+            stats.queries);
+  EXPECT_EQ(stats.cache_hits + stats.cache_misses, stats.queries);
+  EXPECT_EQ(stats.shed, 0u);
+  EXPECT_EQ(service.inflight(), 0u);
+}
+
+}  // namespace
+}  // namespace osq

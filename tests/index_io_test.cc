@@ -149,6 +149,60 @@ TEST(IndexIoTest, RejectsDoubleAssignment) {
             StatusCode::kCorruption);
 }
 
+TEST(IndexIoTest, RoundTripsLabelsContainingWhitespace) {
+  // Label names are tokenized space-separated on disk; names with spaces
+  // (or tabs, or '%') must survive via escaping instead of silently
+  // shifting every following token.
+  LabelDictionary dict;
+  LabelId royal = dict.Intern("royal gallery");
+  LabelId tours = dict.Intern("culture\ttours");
+  LabelId pct = dict.Intern("100% museum");
+  Graph g;
+  g.AddNode(royal);
+  g.AddNode(tours);
+  g.AddNode(pct);
+  ASSERT_TRUE(g.AddEdge(0, 1, dict.Intern("rel")));
+  OntologyGraph o;
+  o.AddRelation(royal, tours);
+  o.AddRelation(tours, pct);
+
+  IndexOptions options;
+  options.num_concept_graphs = 2;
+  OntologyIndex index = OntologyIndex::Build(g, o, options);
+  std::stringstream ss;
+  ASSERT_TRUE(SaveIndex(index, dict, &ss).ok());
+
+  OntologyIndex loaded = OntologyIndex::Build(g, o, options);
+  ASSERT_TRUE(LoadIndex(&ss, g, o, &dict, &loaded).ok());
+  EXPECT_TRUE(loaded.Validate());
+  EXPECT_EQ(loaded.TotalSize(), index.TotalSize());
+  for (size_t i = 0; i < index.num_concept_graphs(); ++i) {
+    const ConceptGraph& a = index.concept_graph(i);
+    const ConceptGraph& b = loaded.concept_graph(i);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      // Escaping must not remap labels: block labels round-trip exactly.
+      EXPECT_EQ(a.BlockLabel(a.BlockOf(v)), b.BlockLabel(b.BlockOf(v)));
+    }
+  }
+  // The dictionary did not grow: every name resolved to its original id.
+  EXPECT_EQ(dict.Lookup("royal gallery"), royal);
+  EXPECT_EQ(dict.Lookup("culture\ttours"), tours);
+  EXPECT_EQ(dict.Lookup("100% museum"), pct);
+}
+
+TEST(IndexIoTest, EmptyLabelNameIsUnescapableOnSave) {
+  LabelDictionary dict;
+  LabelId empty = dict.Intern("");
+  Graph g;
+  g.AddNode(empty);
+  OntologyGraph o;
+  o.AddLabel(empty);
+  OntologyIndex index = OntologyIndex::Build(g, o, IndexOptions{});
+  std::stringstream ss;
+  Status s = SaveIndex(index, dict, &ss);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
 TEST(IndexIoTest, MissingFileIsIoError) {
   test::TravelFixture f = test::MakeTravelFixture();
   OntologyIndex out = OntologyIndex::Build(f.g, f.o, IndexOptions{});

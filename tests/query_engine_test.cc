@@ -1,5 +1,6 @@
 #include "core/query_engine.h"
 
+#include <memory>
 #include <utility>
 
 #include <gtest/gtest.h>
@@ -58,17 +59,24 @@ TEST(QueryEngineTest, BuildStatsPopulated) {
 
 TEST(QueryEngineTest, EngineIsMovable) {
   test::TravelFixture f = test::MakeTravelFixture();
-  QueryEngine engine = MakeTravelEngine(&f);
-  QueryEngine moved = std::move(engine);
+  // Heap-allocate the source and destroy it *before* the moved-to engine is
+  // used: if move construction failed to rebind the index's raw
+  // Graph*/OntologyGraph* borrows, they would dangle into freed memory here
+  // rather than merely pointing at a still-alive moved-from shell.
+  auto engine = std::make_unique<QueryEngine>(MakeTravelEngine(&f));
+  QueryEngine moved = std::move(*engine);
+  engine.reset();
+
+  // The index borrows raw Graph*/OntologyGraph*; after the move they must
+  // point at the graphs the moved-to engine now owns.
+  EXPECT_EQ(&moved.index().data_graph(), &moved.graph());
+  EXPECT_EQ(&moved.index().ontology(), &moved.ontology());
+
   QueryOptions options;
   options.theta = 0.9;
   QueryResult r = moved.Query(f.query, options);
   ASSERT_TRUE(r.status.ok());
   EXPECT_EQ(r.matches.size(), 1u);
-  // The index borrows raw Graph*/OntologyGraph*; after the move they must
-  // point at the graphs the moved-to engine now owns.
-  EXPECT_EQ(&moved.index().data_graph(), &moved.graph());
-  EXPECT_EQ(&moved.index().ontology(), &moved.ontology());
 }
 
 // Regression: move-*assignment* destroys the target's old graphs and

@@ -212,6 +212,49 @@ TEST(QueryServiceTest, ErrorResultsCachedWhenOptedIn) {
   EXPECT_FALSE(second.result.status.ok());
 }
 
+TEST(ResultCacheTest, LookupTimeStaleDropsAreCounted) {
+  // A stale entry found at Lookup is dropped on the spot; the drop must be
+  // recorded (it was previously invisible, under-reporting invalidations).
+  ResultCache cache(4);
+  QueryResult result;
+  cache.Insert("q1", /*version=*/0, result);
+  cache.Insert("q2", /*version=*/0, result);
+  EXPECT_EQ(cache.stale_drops(), 0u);
+
+  QueryResult out;
+  EXPECT_FALSE(cache.Lookup("q1", /*version=*/1, &out));
+  EXPECT_EQ(cache.stale_drops(), 1u);
+  EXPECT_EQ(cache.size(), 1u);  // dropped, not just skipped
+
+  // Same-version lookups and plain misses do not count.
+  EXPECT_FALSE(cache.Lookup("q1", 1, &out));  // now a plain miss
+  EXPECT_TRUE(cache.Lookup("q2", 0, &out));
+  EXPECT_EQ(cache.stale_drops(), 1u);
+
+  EXPECT_FALSE(cache.Lookup("q2", 3, &out));
+  EXPECT_EQ(cache.stale_drops(), 2u);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(QueryServiceTest, StatsFoldStaleDropsIntoInvalidations) {
+  // The eager writer sweep accounts for stale entries it removes; Stats()
+  // additionally folds in lazy lookup-time drops so the two paths report
+  // uniformly.  Exercise the eager path end-to-end and check the counter
+  // still reconciles with the cache's own view.
+  test::TravelFixture f = test::MakeTravelFixture();
+  Graph query = f.query;
+  NodeId hp = f.hp, rg = f.rg;
+  LabelId near = f.near;
+  QueryService service = MakeTravelService(&f);
+
+  service.Query(query, TravelOptions());
+  ASSERT_EQ(service.cache_size(), 1u);
+  ASSERT_TRUE(service.ApplyUpdate(GraphUpdate::Insert(hp, rg, near)));
+  ServeStats stats = service.Stats();
+  EXPECT_EQ(stats.cache_invalidations, 1u);  // eager sweep got the entry
+  EXPECT_EQ(service.cache_size(), 0u);
+}
+
 TEST(QueryServiceTest, QuerySignatureIsInsertionOrderInvariant) {
   // Two structurally identical graphs built in different edge orders.
   Graph a;

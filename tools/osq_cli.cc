@@ -7,12 +7,14 @@
 //   osq_cli query    --graph g.txt --ontology o.txt \
 //           --pattern '(t:tourists)-[guide]->(m:museum)' \
 //           [--index idx.txt] [--theta 0.9] [--k 10] [--explain] \
-//           [--semantics induced|homomorphic] [--threads N]
+//           [--semantics induced|homomorphic] [--threads N] \
+//           [--deadline-ms 0]
 //   osq_cli bench    --graph g.txt --ontology o.txt --queries q.txt
 //           [--theta 0.9] [--k 10] [--reps 3] [--threads N]
 //   osq_cli serve-bench --graph g.txt --ontology o.txt --queries q.txt
 //           [--theta 0.9] [--k 10] [--threads 4] [--requests 200]
-//           [--cache 256] [--update-interval-ms 0]
+//           [--cache 256] [--update-interval-ms 0] [--deadline-ms 0]
+//           [--max-inflight 0]
 //   osq_cli stats    --graph g.txt --ontology o.txt
 //
 // --threads N parallelizes index build and query evaluation over N threads
@@ -21,6 +23,10 @@
 // threads driving a QueryService closed-loop (snapshot-isolated reads,
 // LRU result cache); --update-interval-ms > 0 adds a writer thread
 // toggling an edge update at that period.
+// --deadline-ms > 0 bounds each query's evaluation time; an interrupted
+// query returns the (valid) matches found so far, flagged as
+// deadline_exceeded.  serve-bench's --max-inflight > 0 bounds admitted
+// concurrent queries — excess requests are shed with UNAVAILABLE.
 //
 // Exit status: 0 on success, 1 on usage errors, 2 on runtime errors.
 
@@ -212,6 +218,7 @@ int CmdQuery(const FlagMap& flags) {
   options.theta = GetDouble(flags, "theta", options.theta);
   options.k = GetSize(flags, "k", options.k);
   options.num_threads = GetSize(flags, "threads", options.num_threads);
+  options.deadline_ms = GetDouble(flags, "deadline-ms", 0.0);
   std::string semantics = GetFlag(flags, "semantics", "induced");
   if (semantics == "homomorphic") {
     options.semantics = MatchSemantics::kHomomorphicEdges;
@@ -238,17 +245,27 @@ int CmdQuery(const FlagMap& flags) {
   }
 
   WallTimer timer;
-  FilterResult filter = GviewFilter(index, parsed.query, options);
-  std::vector<Match> matches = KMatch(parsed.query, filter, options);
+  ExecControl exec;
+  exec.deadline = Deadline::AfterMillis(options.deadline_ms);
+  KMatchStats kstats;
+  FilterResult filter = GviewFilter(index, parsed.query, options, &exec);
+  std::vector<Match> matches = KMatch(parsed.query, filter, options, &kstats,
+                                      &exec);
   double ms = timer.ElapsedMillis();
+  StopReason stopped =
+      MergeStopReason(filter.stats.stopped, kstats.stopped);
 
   // Invert the pattern's name map for printing.
   std::vector<std::string> names(parsed.query.num_nodes());
   for (const auto& [name, id] : parsed.node_ids) {
     names[id] = name;
   }
-  std::printf("%zu match(es) in %.2f ms (G_v: %zu nodes)\n", matches.size(),
+  std::printf("%zu match(es) in %.2f ms (G_v: %zu nodes)", matches.size(),
               ms, filter.stats.gv_nodes);
+  if (stopped != StopReason::kNone) {
+    std::printf(" [%s: partial result]", StopReasonName(stopped));
+  }
+  std::printf("\n");
   for (const Match& m : matches) {
     std::printf("  score %.4f: ", m.score);
     for (NodeId u = 0; u < parsed.query.num_nodes(); ++u) {
@@ -342,6 +359,8 @@ int CmdServeBench(const FlagMap& flags) {
 
   ServeOptions serve;
   serve.cache_capacity = GetSize(flags, "cache", serve.cache_capacity);
+  serve.default_deadline_ms = GetDouble(flags, "deadline-ms", 0.0);
+  serve.max_inflight = GetSize(flags, "max-inflight", 0);
 
   // The engine owns its graph/ontology; keep an edge to toggle first.
   std::vector<EdgeTriple> edges = ds.graph.EdgeList();

@@ -1,19 +1,28 @@
 #!/usr/bin/env bash
-# Tier-1 verification: full build + test suite, then the concurrency tests
-# again under ThreadSanitizer (OSQ_SANITIZE=thread) so data races in the
-# parallel pipelines and the serving layer fail the build gate, not a
-# user's query, and finally the fast suite under UndefinedBehaviorSanitizer
-# (OSQ_SANITIZE=undefined) to catch overflow/alignment/bounds UB.
+# Tier-1 verification gate: build → fast tests → slow tests → TSan → UBSan
+# → ASan+LSan → lint.
 #
-# The ctest run is split by the `slow` label: the fast suite first (quick
-# signal), then the slow randomized/differential/stress suites.
+# - The primary build runs with OSQ_WERROR=ON: the warning floor in
+#   CMakeLists.txt (-Wall -Wextra -Wshadow -Wextra-semi -Wnon-virtual-dtor
+#   -Wconversion) is a build error here, not advice.
+# - The ctest run is split by the `slow` label: fast suite first (quick
+#   signal), then the slow randomized/differential/stress suites.
+# - TSan (OSQ_SANITIZE=thread) re-runs the concurrency tests so data races
+#   in the parallel pipelines and serving layer fail the gate.
+# - UBSan (OSQ_SANITIZE=undefined) runs the fast suite against
+#   overflow/alignment/bounds UB.
+# - ASan+LSan (OSQ_SANITIZE=address, detect_leaks=1) runs the fast suite
+#   against heap misuse and leaks (ThreadPool shutdown, QueryService
+#   snapshot lifetimes).
+# - lint (scripts/lint.sh) runs osq_lint + clang-tidy-with-baseline +
+#   clang-format --check; see DESIGN.md §10.
 #
 # Usage: scripts/tier1.sh [extra cmake args...]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== tier-1: build + ctest (fast suite) =="
-cmake -B build -S . "$@"
+echo "== tier-1: build (OSQ_WERROR=ON) + ctest (fast suite) =="
+cmake -B build -S . -DOSQ_WERROR=ON "$@"
 cmake --build build -j
 ctest --test-dir build --output-on-failure -j -LE slow
 
@@ -21,7 +30,7 @@ echo "== tier-1: ctest (slow suite: differential + stress) =="
 ctest --test-dir build --output-on-failure -j -L slow
 
 echo "== tier-1: concurrency tests under ThreadSanitizer =="
-cmake -B build-tsan -S . -DOSQ_SANITIZE=thread \
+cmake -B build-tsan -S . -DOSQ_SANITIZE=thread -DOSQ_WERROR=ON \
   -DOSQ_BUILD_BENCHMARKS=OFF -DOSQ_BUILD_EXAMPLES=OFF "$@"
 cmake --build build-tsan -j --target thread_pool_test \
   parallel_determinism_test query_service_stress_test deadline_stress_test
@@ -29,9 +38,19 @@ ctest --test-dir build-tsan --output-on-failure \
   -R 'ThreadPoolTest|ResolveNumThreadsTest|ParallelDeterminismTest|QueryServiceStressTest|DeadlineStressTest'
 
 echo "== tier-1: fast suite under UndefinedBehaviorSanitizer =="
-cmake -B build-ubsan -S . -DOSQ_SANITIZE=undefined \
+cmake -B build-ubsan -S . -DOSQ_SANITIZE=undefined -DOSQ_WERROR=ON \
   -DOSQ_BUILD_BENCHMARKS=OFF -DOSQ_BUILD_EXAMPLES=OFF "$@"
 cmake --build build-ubsan -j
 ctest --test-dir build-ubsan --output-on-failure -j -LE slow
+
+echo "== tier-1: fast suite under AddressSanitizer + LeakSanitizer =="
+cmake -B build-asan -S . -DOSQ_SANITIZE=address -DOSQ_WERROR=ON \
+  -DOSQ_BUILD_BENCHMARKS=OFF -DOSQ_BUILD_EXAMPLES=OFF "$@"
+cmake --build build-asan -j
+ASAN_OPTIONS="detect_leaks=1:strict_string_checks=1:check_initialization_order=1" \
+  ctest --test-dir build-asan --output-on-failure -j -LE slow
+
+echo "== tier-1: lint (osq_lint + clang-tidy + format) =="
+scripts/lint.sh build
 
 echo "tier-1 OK"

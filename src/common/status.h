@@ -24,7 +24,12 @@ enum class StatusCode {
 
 // Value-semantic result of a fallible operation.  Default-constructed
 // Status is OK.  Copyable and movable.
-class Status {
+//
+// [[nodiscard]] on the class makes discarding any returned Status a
+// compile warning (an error under OSQ_WERROR); a deliberately ignored
+// status must be spelled as a (void)-cast with a justification comment
+// (enforced by tools/osq_lint).
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)

@@ -28,8 +28,8 @@ namespace osq {
 // Selects up to `k` matches from `ranked` (sorted best-first, as returned
 // by KMatch).  `lambda` in [0, 1] trades score for node-coverage novelty.
 // Deterministic: ties broken by input order.
-std::vector<Match> DiversifyMatches(const std::vector<Match>& ranked,
-                                    size_t k, double lambda);
+[[nodiscard]] std::vector<Match> DiversifyMatches(
+    const std::vector<Match>& ranked, size_t k, double lambda);
 
 // Fraction of distinct data nodes covered by `matches` relative to the
 // total slots (|matches| * |V_Q|); 1.0 means fully disjoint matches.

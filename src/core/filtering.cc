@@ -188,8 +188,8 @@ FilterResult GviewFilter(const OntologyIndex& index, const Graph& query,
   // which also tightens the lazy block selection below.
   std::vector<std::unordered_map<LabelId, double>> exact_label_sims(nq);
   ParallelFor(num_threads, nq, [&](size_t u) {
-    std::unordered_map<LabelId, double> sims =
-        ExactLabelSims(o, sim, query.NodeLabel(u), options.theta);
+    std::unordered_map<LabelId, double> sims = ExactLabelSims(
+        o, sim, query.NodeLabel(static_cast<NodeId>(u)), options.theta);
     for (auto it = sims.begin(); it != sims.end();) {
       if (index.LabelOccursInData(it->first)) {
         ++it;

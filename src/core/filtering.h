@@ -87,9 +87,10 @@ struct FilterResult {
 // sets, with stats.stopped recording why.  The linear stages always run
 // to completion.  A stopped filter result is timing-dependent; the
 // thread-count determinism contract applies only to runs that complete.
-FilterResult GviewFilter(const OntologyIndex& index, const Graph& query,
-                         const QueryOptions& options,
-                         const ExecControl* exec = nullptr);
+[[nodiscard]] FilterResult GviewFilter(const OntologyIndex& index,
+                                       const Graph& query,
+                                       const QueryOptions& options,
+                                       const ExecControl* exec = nullptr);
 
 }  // namespace osq
 

@@ -28,19 +28,22 @@
 
 namespace osq {
 
-Status SaveIndex(const OntologyIndex& index, const LabelDictionary& dict,
-                 std::ostream* out);
-Status SaveIndexToFile(const OntologyIndex& index,
-                       const LabelDictionary& dict, const std::string& path);
+[[nodiscard]] Status SaveIndex(const OntologyIndex& index,
+                               const LabelDictionary& dict, std::ostream* out);
+[[nodiscard]] Status SaveIndexToFile(const OntologyIndex& index,
+                                     const LabelDictionary& dict,
+                                     const std::string& path);
 
 // Loads an index previously saved for (g, o).  `g` and `o` must outlive
 // the result.  Fails with Corruption when the file does not describe a
 // valid concept-graph partition of `g`.
-Status LoadIndex(std::istream* in, const Graph& g, const OntologyGraph& o,
-                 LabelDictionary* dict, OntologyIndex* out);
-Status LoadIndexFromFile(const std::string& path, const Graph& g,
-                         const OntologyGraph& o, LabelDictionary* dict,
-                         OntologyIndex* out);
+[[nodiscard]] Status LoadIndex(std::istream* in, const Graph& g,
+                               const OntologyGraph& o, LabelDictionary* dict,
+                               OntologyIndex* out);
+[[nodiscard]] Status LoadIndexFromFile(const std::string& path, const Graph& g,
+                                       const OntologyGraph& o,
+                                       LabelDictionary* dict,
+                                       OntologyIndex* out);
 
 }  // namespace osq
 

@@ -70,15 +70,16 @@ struct KMatchStats {
 // so far with stats->stopped set.  A stopped result is a subset of the
 // unconstrained one and therefore timing-dependent — the bit-identical
 // determinism contract (DESIGN.md §7) applies only to runs that complete.
-std::vector<Match> KMatch(const Graph& query, const FilterResult& filter,
-                          const QueryOptions& options,
-                          KMatchStats* stats = nullptr,
-                          const ExecControl* exec = nullptr);
+[[nodiscard]] std::vector<Match> KMatch(const Graph& query,
+                                        const FilterResult& filter,
+                                        const QueryOptions& options,
+                                        KMatchStats* stats = nullptr,
+                                        const ExecControl* exec = nullptr);
 
 // Lower-level entry point used by baselines and tests: matches `query`
 // against `target` given explicit candidate lists (target-local ids,
 // sorted by descending similarity).  Results use target-local ids.
-std::vector<Match> KMatchOnGraph(
+[[nodiscard]] std::vector<Match> KMatchOnGraph(
     const Graph& query, const Graph& target,
     const std::vector<std::vector<Candidate>>& candidates,
     const QueryOptions& options, KMatchStats* stats = nullptr,

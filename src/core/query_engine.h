@@ -77,13 +77,17 @@ class QueryEngine {
   double index_build_ms() const { return index_build_ms_; }
 
   // Evaluates `query` (paper's KMatch over the Gview-extracted G_v).
-  QueryResult Query(const Graph& query, const QueryOptions& options) const;
+  // [[nodiscard]]: QueryResult carries the error status; dropping it
+  // would silently swallow failures.
+  [[nodiscard]] QueryResult Query(const Graph& query,
+                                  const QueryOptions& options) const;
 
   // Convenience: parses `pattern` (see query/pattern_parser.h, e.g.
   // "(t:tourists)-[guide]->(m:museum)") against `dict` and evaluates it.
   // Parse failures surface in QueryResult::status.
-  QueryResult QueryPattern(std::string_view pattern, LabelDictionary* dict,
-                           const QueryOptions& options) const;
+  [[nodiscard]] QueryResult QueryPattern(std::string_view pattern,
+                                         LabelDictionary* dict,
+                                         const QueryOptions& options) const;
 
   // Dynamic updates: mutate the data graph and incrementally repair the
   // index (never rebuilds from scratch).

@@ -68,8 +68,8 @@ OntologyGraph MakeTaxonomyOntology(const SyntheticOntologyParams& params,
     o.AddRelation(labels[i], labels[parent]);
   }
   // Cross links (synonyms / refers-to).
-  size_t extra =
-      static_cast<size_t>(params.cross_link_fraction * params.num_labels);
+  size_t extra = static_cast<size_t>(
+      params.cross_link_fraction * static_cast<double>(params.num_labels));
   size_t added = 0;
   size_t attempts = 0;
   while (added < extra && attempts < extra * 20 + 100) {

@@ -21,16 +21,18 @@
 namespace osq {
 
 // Writes `g` in the text format.  Fails if any label contains whitespace.
-Status SaveGraph(const Graph& g, const LabelDictionary& dict,
-                 std::ostream* out);
-Status SaveGraphToFile(const Graph& g, const LabelDictionary& dict,
-                       const std::string& path);
+[[nodiscard]] Status SaveGraph(const Graph& g, const LabelDictionary& dict,
+                               std::ostream* out);
+[[nodiscard]] Status SaveGraphToFile(const Graph& g,
+                                     const LabelDictionary& dict,
+                                     const std::string& path);
 
 // Parses a graph in the text format, interning labels into `dict` and
 // appending nothing on failure (`g` is only assigned on success).
-Status LoadGraph(std::istream* in, LabelDictionary* dict, Graph* g);
-Status LoadGraphFromFile(const std::string& path, LabelDictionary* dict,
-                         Graph* g);
+[[nodiscard]] Status LoadGraph(std::istream* in, LabelDictionary* dict,
+                               Graph* g);
+[[nodiscard]] Status LoadGraphFromFile(const std::string& path,
+                                       LabelDictionary* dict, Graph* g);
 
 }  // namespace osq
 

@@ -59,7 +59,7 @@ class StringGraphBuilder {
 // Checks that `query` is usable as a query graph: non-empty and weakly
 // connected (the paper's queries are connected patterns; a disconnected
 // query would make the match score decomposable and the search wasteful).
-Status ValidateQuery(const Graph& query);
+[[nodiscard]] Status ValidateQuery(const Graph& query);
 
 }  // namespace osq
 

@@ -87,10 +87,12 @@ class OntologyGraph {
 
 // Text persistence in the graph_io format ("v <id> <label>" declares an
 // ontology node, "e <a> <b> <ignored>" a relation; direction is dropped).
-Status SaveOntology(const OntologyGraph& o, const LabelDictionary& dict,
-                    const std::string& path);
-Status LoadOntologyFromFile(const std::string& path, LabelDictionary* dict,
-                            OntologyGraph* o);
+[[nodiscard]] Status SaveOntology(const OntologyGraph& o,
+                                  const LabelDictionary& dict,
+                                  const std::string& path);
+[[nodiscard]] Status LoadOntologyFromFile(const std::string& path,
+                                          LabelDictionary* dict,
+                                          OntologyGraph* o);
 
 }  // namespace osq
 

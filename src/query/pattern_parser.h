@@ -38,9 +38,9 @@ struct ParsedPattern {
 // Parses `text` into a query graph, interning labels into `dict`.
 // On error returns InvalidArgument with the offending offset and leaves
 // `out` untouched.
-Status ParsePattern(std::string_view text, LabelDictionary* dict,
-                    ParsedPattern* out,
-                    std::string_view default_edge_label = "-");
+[[nodiscard]] Status ParsePattern(std::string_view text, LabelDictionary* dict,
+                                  ParsedPattern* out,
+                                  std::string_view default_edge_label = "-");
 
 // Renders a query graph back to pattern syntax (one chain per edge,
 // single-node patterns as "(n0:label)").  Inverse of ParsePattern up to
@@ -50,9 +50,10 @@ std::string FormatPattern(const Graph& query, const LabelDictionary& dict);
 // Parses a query-workload file: one pattern per line; blank lines and '#'
 // comment lines are skipped.  Fails (leaving `out` untouched) on the first
 // malformed pattern, reporting its line number.
-Status LoadPatternsFromFile(const std::string& path, LabelDictionary* dict,
-                            std::vector<ParsedPattern>* out,
-                            std::string_view default_edge_label = "-");
+[[nodiscard]] Status LoadPatternsFromFile(
+    const std::string& path, LabelDictionary* dict,
+    std::vector<ParsedPattern>* out,
+    std::string_view default_edge_label = "-");
 
 }  // namespace osq
 

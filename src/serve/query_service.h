@@ -76,8 +76,10 @@ class QueryService {
 
   // Evaluates `query` against the current snapshot.  Safe to call from
   // any number of threads concurrently with each other and with the
-  // mutating calls below.
-  ServedResult Query(const Graph& query, const QueryOptions& options);
+  // mutating calls below.  [[nodiscard]]: the result carries the status
+  // (including Unavailable shed signals) — dropping it hides overload.
+  [[nodiscard]] ServedResult Query(const Graph& query,
+                                   const QueryOptions& options);
 
   // Mutations.  Each call that changes the graph applies atomically with
   // respect to Query (readers see all of it or none of it) and advances

@@ -69,8 +69,12 @@ TEST(FilteringTest, CandidateSimilaritiesExact) {
   ASSERT_FALSE(r.no_match);
   for (const Candidate& c : r.candidates[f.q_museum]) {
     NodeId orig = r.gv.to_original[c.node];
-    if (orig == f.rg) EXPECT_DOUBLE_EQ(c.sim, 0.9);
-    if (orig == f.disneyland) EXPECT_DOUBLE_EQ(c.sim, 0.81);
+    if (orig == f.rg) {
+      EXPECT_DOUBLE_EQ(c.sim, 0.9);
+    }
+    if (orig == f.disneyland) {
+      EXPECT_DOUBLE_EQ(c.sim, 0.81);
+    }
   }
   // Sorted descending.
   for (size_t i = 1; i < r.candidates[f.q_museum].size(); ++i) {

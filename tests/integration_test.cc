@@ -130,7 +130,8 @@ TEST(IntegrationTest, GeneratedScenarioSmoke) {
     QueryResult r = engine.Query(q, options);
     ASSERT_TRUE(r.status.ok());
     for (const Match& m : r.matches) {
-      EXPECT_GE(m.score, options.theta * q.num_nodes() - 1e-9);
+      EXPECT_GE(m.score,
+                options.theta * static_cast<double>(q.num_nodes()) - 1e-9);
       // Mapping is a bijection onto distinct data nodes.
       std::set<NodeId> distinct(m.mapping.begin(), m.mapping.end());
       EXPECT_EQ(distinct.size(), q.num_nodes());

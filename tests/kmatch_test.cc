@@ -242,7 +242,7 @@ TEST(KMatchTest, MaxSearchStepsTruncates) {
   options.max_search_steps = 1;
   FilterResult filter = GviewFilter(index, f.query, options);
   KMatchStats stats;
-  KMatch(f.query, filter, options, &stats);
+  (void)KMatch(f.query, filter, options, &stats);  // only stats are under test
   EXPECT_TRUE(stats.truncated);
 }
 

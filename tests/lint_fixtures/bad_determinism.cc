@@ -1,0 +1,32 @@
+// Fixture: ambient randomness and wall clocks; each use must trip
+// osq-core-determinism.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace fixture {
+
+int AmbientRandom() {
+  return rand() % 7;
+}
+
+void SeedFromClock() {
+  srand(static_cast<unsigned>(time(nullptr)));
+}
+
+unsigned HardwareEntropy() {
+  std::random_device rd;
+  return rd();
+}
+
+double EngineOutsideRng() {
+  std::mt19937 gen(42);
+  return static_cast<double>(gen());
+}
+
+long long WallClock() {
+  return std::chrono::system_clock::now().time_since_epoch().count();
+}
+
+}  // namespace fixture

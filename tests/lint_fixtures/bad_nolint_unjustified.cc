@@ -1,0 +1,12 @@
+// Fixture: suppressions without a written justification must still fail.
+#include <iostream>
+
+namespace fixture {
+
+void Print(int matches) {
+  std::cout << matches;  // NOLINT(osq-no-stdout)
+  // NOLINTNEXTLINE(osq-no-stdout):
+  std::cout << matches;
+}
+
+}  // namespace fixture

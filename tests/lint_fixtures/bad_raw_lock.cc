@@ -1,0 +1,26 @@
+// Fixture: raw mutex manipulation that must trip osq-raw-lock.
+#include <mutex>
+
+namespace fixture {
+
+std::mutex mu;
+
+void RawLockPair() {
+  mu.lock();
+  mu.unlock();
+}
+
+void ThroughPointer(std::mutex* m) {
+  m->lock();
+  m->unlock();
+}
+
+bool TryVariant(std::mutex& m) {
+  if (m.try_lock()) {
+    m.unlock();
+    return true;
+  }
+  return false;
+}
+
+}  // namespace fixture

@@ -1,0 +1,18 @@
+// Fixture: every declaration here must trip osq-status-nodiscard.
+#ifndef OSQ_TESTS_LINT_FIXTURES_BAD_STATUS_NODISCARD_H_
+#define OSQ_TESTS_LINT_FIXTURES_BAD_STATUS_NODISCARD_H_
+
+namespace fixture {
+
+class Status {
+ public:
+  bool ok() const { return true; }
+};
+
+Status LoadThing(int x);
+
+static Status SaveThing(int x);
+
+}  // namespace fixture
+
+#endif  // OSQ_TESTS_LINT_FIXTURES_BAD_STATUS_NODISCARD_H_

@@ -1,0 +1,15 @@
+// Fixture: printing from library code; every statement must trip
+// osq-no-stdout.
+#include <cstdio>
+#include <iostream>
+
+namespace fixture {
+
+void Print(int matches) {
+  std::cout << "matches: " << matches << "\n";
+  printf("matches: %d\n", matches);
+  std::printf("matches: %d\n", matches);
+  puts("done");
+}
+
+}  // namespace fixture

@@ -1,0 +1,35 @@
+// Fixture: the "kmatch" in the filename classifies this as a match-emission
+// layer, so iterating unordered containers must trip osq-unordered-iter.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace fixture {
+
+struct Emitter {
+  std::unordered_map<int, double> scores_;
+  std::unordered_set<int> seen_;
+
+  std::vector<int> Emit() const {
+    std::vector<int> out;
+    for (const auto& kv : scores_) {
+      out.push_back(kv.first);
+    }
+    for (auto it = seen_.begin(); it != seen_.end(); ++it) {
+      out.push_back(*it);
+    }
+    return out;
+  }
+
+  std::vector<int> EmitMultiline() const {
+    std::vector<int> out;
+    for (const auto& [node, score] :
+         scores_) {
+      out.push_back(node);
+    }
+    return out;
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,36 @@
+// Fixture: sanctioned randomness/clock idioms that must pass
+// osq-core-determinism.
+#include <chrono>
+#include <cstdint>
+
+namespace fixture {
+
+// Seeded generator in the style of common/rng.h — callers thread it through.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed ? seed : 1) {}
+  uint64_t Next() {
+    state_ ^= state_ << 13;
+    state_ ^= state_ >> 7;
+    state_ ^= state_ << 17;
+    return state_;
+  }
+
+ private:
+  uint64_t state_;
+};
+
+uint64_t Draw(Rng& rng) {
+  return rng.Next();
+}
+
+// Monotonic time for durations is fine; only wall clocks are banned.
+int64_t MonotonicNanos() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+// Identifiers merely containing the banned names must not count.
+int strand_count = 0;
+int runtime_budget(int deadline) { return deadline + strand_count; }
+
+}  // namespace fixture

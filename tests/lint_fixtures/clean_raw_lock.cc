@@ -1,0 +1,34 @@
+// Fixture: RAII-guarded locking that must pass osq-raw-lock.
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+
+namespace fixture {
+
+std::mutex mu;
+std::shared_mutex rw;
+
+int Guarded() {
+  std::lock_guard<std::mutex> hold(mu);
+  return 1;
+}
+
+int EarlyRelease() {
+  std::unique_lock<std::mutex> lk(mu);
+  lk.unlock();  // early release through the guard is exception-safe
+  lk.lock();
+  return 2;
+}
+
+int SharedGuarded() {
+  std::shared_lock<std::shared_mutex> lock(rw);
+  lock.unlock();
+  return 3;
+}
+
+std::shared_ptr<int> Promote(const std::weak_ptr<int>& w) {
+  std::weak_ptr<int> copy = w;
+  return copy.lock();  // weak_ptr::lock is not a mutex operation
+}
+
+}  // namespace fixture

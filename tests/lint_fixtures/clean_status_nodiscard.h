@@ -1,0 +1,21 @@
+// Fixture: annotated Status declarations that must pass osq-status-nodiscard.
+#ifndef OSQ_TESTS_LINT_FIXTURES_CLEAN_STATUS_NODISCARD_H_
+#define OSQ_TESTS_LINT_FIXTURES_CLEAN_STATUS_NODISCARD_H_
+
+namespace fixture {
+
+class [[nodiscard]] Status {
+ public:
+  bool ok() const { return true; }
+};
+
+class StatusOr;  // forward declaration: no attribute required
+
+[[nodiscard]] Status LoadThing(int x);
+
+[[nodiscard]]
+Status SaveThing(int x);
+
+}  // namespace fixture
+
+#endif  // OSQ_TESTS_LINT_FIXTURES_CLEAN_STATUS_NODISCARD_H_

@@ -1,0 +1,29 @@
+// Fixture: allowed formatting/diagnostic output that must pass
+// osq-no-stdout — snprintf into buffers and stderr diagnostics are fine,
+// and a justified suppression silences a deliberate print.
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+namespace fixture {
+
+std::string Render(int matches) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "matches: %d", matches);
+  return buf;
+}
+
+void FatalDiagnostic(const char* what) {
+  std::fprintf(stderr, "fatal: %s\n", what);
+}
+
+void DebugDump(int matches) {
+  // NOLINTNEXTLINE(osq-no-stdout): fixture demonstrating a justified print
+  std::cout << matches << "\n";
+  printf("%d\n", matches);  // NOLINT(osq-no-stdout): same-line suppression
+}
+
+// The word printf inside strings or comments must not count: "printf(".
+const char* kDoc = "call printf( at your own risk";
+
+}  // namespace fixture

@@ -1,0 +1,27 @@
+// Fixture: emission-layer code (filename says "kmatch") that must pass
+// osq-unordered-iter — unordered state is fine as long as emission order
+// comes from a sorted vector.
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+struct Emitter {
+  std::unordered_map<int, double> scores_;
+
+  std::vector<int> Emit() const {
+    std::vector<int> keys;
+    keys.reserve(scores_.size());
+    // Membership lookups against the unordered map are order-independent.
+    for (int node = 0; node < 100; ++node) {
+      if (scores_.count(node) > 0) {
+        keys.push_back(node);
+      }
+    }
+    std::sort(keys.begin(), keys.end());
+    return keys;
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,177 @@
+// Tests for tools/osq_lint: every bad fixture must trigger its rule, every
+// clean fixture must pass, and suppression requires a justification.
+//
+// The fixture directory is baked in by CMake (OSQ_LINT_FIXTURE_DIR); the
+// fixtures double as documentation of what each rule accepts and rejects.
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "osq_lint.h"
+
+namespace osq {
+namespace lint {
+namespace {
+
+std::string FixturePath(const std::string& name) {
+  return std::string(OSQ_LINT_FIXTURE_DIR) + "/" + name;
+}
+
+std::vector<Violation> LintFixture(const std::string& name) {
+  std::vector<Violation> out;
+  EXPECT_TRUE(LintFile(FixturePath(name), &out)) << "unreadable: " << name;
+  return out;
+}
+
+size_t CountRule(const std::vector<Violation>& vs, const std::string& rule) {
+  return static_cast<size_t>(
+      std::count_if(vs.begin(), vs.end(),
+                    [&](const Violation& v) { return v.rule == rule; }));
+}
+
+TEST(OsqLintFixtureTest, BadStatusNodiscard) {
+  std::vector<Violation> vs = LintFixture("bad_status_nodiscard.h");
+  EXPECT_EQ(CountRule(vs, "osq-status-nodiscard"), 3u);  // class + 2 decls
+  EXPECT_EQ(vs.size(), 3u);
+}
+
+TEST(OsqLintFixtureTest, CleanStatusNodiscard) {
+  EXPECT_TRUE(LintFixture("clean_status_nodiscard.h").empty());
+}
+
+TEST(OsqLintFixtureTest, BadRawLock) {
+  std::vector<Violation> vs = LintFixture("bad_raw_lock.cc");
+  EXPECT_EQ(CountRule(vs, "osq-raw-lock"), 6u);
+  EXPECT_EQ(vs.size(), 6u);
+}
+
+TEST(OsqLintFixtureTest, CleanRawLock) {
+  EXPECT_TRUE(LintFixture("clean_raw_lock.cc").empty());
+}
+
+TEST(OsqLintFixtureTest, BadStdout) {
+  std::vector<Violation> vs = LintFixture("bad_stdout.cc");
+  EXPECT_EQ(CountRule(vs, "osq-no-stdout"), 4u);
+  EXPECT_EQ(vs.size(), 4u);
+}
+
+TEST(OsqLintFixtureTest, CleanStdout) {
+  EXPECT_TRUE(LintFixture("clean_stdout.cc").empty());
+}
+
+TEST(OsqLintFixtureTest, BadUnorderedIter) {
+  std::vector<Violation> vs = LintFixture("bad_unordered_iter_kmatch.cc");
+  EXPECT_EQ(CountRule(vs, "osq-unordered-iter"), 3u);
+  EXPECT_EQ(vs.size(), 3u);
+}
+
+TEST(OsqLintFixtureTest, CleanUnorderedIter) {
+  EXPECT_TRUE(LintFixture("clean_unordered_iter_kmatch.cc").empty());
+}
+
+TEST(OsqLintFixtureTest, BadDeterminism) {
+  std::vector<Violation> vs = LintFixture("bad_determinism.cc");
+  EXPECT_GE(CountRule(vs, "osq-core-determinism"), 5u);
+  EXPECT_EQ(CountRule(vs, "osq-core-determinism"), vs.size());
+}
+
+TEST(OsqLintFixtureTest, CleanDeterminism) {
+  EXPECT_TRUE(LintFixture("clean_determinism.cc").empty());
+}
+
+TEST(OsqLintFixtureTest, UnjustifiedSuppressionStillFails) {
+  std::vector<Violation> vs = LintFixture("bad_nolint_unjustified.cc");
+  EXPECT_EQ(CountRule(vs, "osq-no-stdout"), 2u);
+  for (const Violation& v : vs) {
+    EXPECT_NE(v.message.find("justification"), std::string::npos)
+        << v.ToString();
+  }
+}
+
+// --- classification -------------------------------------------------------
+
+TEST(OsqLintClassifyTest, EmissionLayers) {
+  EXPECT_TRUE(ClassifyPath("src/core/kmatch.cc").emission);
+  EXPECT_TRUE(ClassifyPath("src/core/query_engine.cc").emission);
+  EXPECT_TRUE(ClassifyPath("src/serve/query_service.cc").emission);
+  EXPECT_FALSE(ClassifyPath("src/core/filtering.cc").emission);
+  EXPECT_FALSE(ClassifyPath("src/graph/graph.cc").emission);
+}
+
+TEST(OsqLintClassifyTest, RngExemption) {
+  EXPECT_TRUE(ClassifyPath("src/common/rng.h").rng_exempt);
+  EXPECT_TRUE(ClassifyPath("src/common/rng.cc").rng_exempt);
+  EXPECT_FALSE(ClassifyPath("src/gen/synthetic.cc").rng_exempt);
+}
+
+// --- inline content edge cases -------------------------------------------
+
+std::vector<Violation> LintSnippet(const std::string& path,
+                                   const std::string& content) {
+  std::vector<Violation> out;
+  LintContent(path, content, ClassifyPath(path), &out);
+  return out;
+}
+
+TEST(OsqLintContentTest, StringsAndCommentsAreInvisible) {
+  EXPECT_TRUE(LintSnippet("src/x.cc",
+                          "const char* s = \"std::cout << rand()\";\n"
+                          "// printf(\"%d\", rand());\n"
+                          "/* mu.lock(); system_clock */\n")
+                  .empty());
+}
+
+TEST(OsqLintContentTest, JustifiedSuppressionSilences) {
+  EXPECT_TRUE(
+      LintSnippet("src/x.cc",
+                  "void f() { std::cout << 1; }  "
+                  "// NOLINT(osq-no-stdout): CLI-facing demo hook\n")
+          .empty());
+}
+
+TEST(OsqLintContentTest, NonEmissionFileMayIterateUnordered) {
+  const std::string code =
+      "#include <unordered_map>\n"
+      "std::unordered_map<int, int> m;\n"
+      "int f() { int s = 0; for (const auto& kv : m) s += kv.second; "
+      "return s; }\n";
+  EXPECT_TRUE(LintSnippet("src/core/filtering.cc", code).empty());
+  EXPECT_EQ(LintSnippet("src/core/kmatch.cc", code).size(), 1u);
+}
+
+TEST(OsqLintContentTest, UnorderedLocalInFilterScratchIsAllowedOffLayer) {
+  // The same loop is a violation only where results are emitted.
+  std::vector<Violation> vs = LintSnippet(
+      "src/serve/result_cache.cc",
+      "#include <unordered_set>\n"
+      "std::unordered_set<int> keys_;\n"
+      "void f(std::vector<int>* out) {\n"
+      "  for (int k : keys_) out->push_back(k);\n"
+      "}\n");
+  ASSERT_EQ(vs.size(), 1u);
+  EXPECT_EQ(vs[0].rule, "osq-unordered-iter");
+  EXPECT_EQ(vs[0].line, 4u);
+}
+
+TEST(OsqLintContentTest, RawLockThroughPointerAlwaysFlagged) {
+  std::vector<Violation> vs = LintSnippet(
+      "src/x.cc", "void f(std::mutex* m) { m->lock(); m->unlock(); }\n");
+  EXPECT_EQ(CountRule(vs, "osq-raw-lock"), 2u);
+}
+
+TEST(OsqLintContentTest, HeaderRuleSkipsSourceFiles) {
+  // Definitions in .cc files are covered by the header declaration; the
+  // nodiscard rule only fires on headers.
+  EXPECT_TRUE(
+      LintSnippet("src/core/index_io.cc", "Status SaveIndex(int x) {\n}\n")
+          .empty());
+  EXPECT_EQ(LintSnippet("src/core/index_io.h", "Status SaveIndex(int x);\n")
+                .size(),
+            1u);
+}
+
+}  // namespace
+}  // namespace lint
+}  // namespace osq

@@ -270,7 +270,8 @@ TEST(ScoreSanityTest, ScoresMatchSimilaritySums) {
                                    w.g.NodeLabel(m.mapping[u]), 0.5);
       }
       EXPECT_NEAR(m.score, expected, 1e-9);
-      EXPECT_GE(m.score, options.theta * q.num_nodes() - 1e-9);
+      EXPECT_GE(m.score,
+                options.theta * static_cast<double>(q.num_nodes()) - 1e-9);
     }
   }
 }

@@ -114,7 +114,7 @@ TEST(QueryServiceTest, NoOpUpdateKeepsSnapshotAndCache) {
   NodeId ct = f.ct, rg = f.rg;
   LabelId guide = f.guide;
   QueryService service = MakeTravelService(&f);
-  service.Query(query, TravelOptions());
+  (void)service.Query(query, TravelOptions());  // warm the cache
 
   // Duplicate insertion: rejected, so the snapshot must not advance.
   EXPECT_FALSE(service.ApplyUpdate(GraphUpdate::Insert(ct, rg, guide)));
@@ -182,7 +182,7 @@ TEST(QueryServiceTest, SignatureSeparatesSemanticOptionsOnly) {
   QueryService service = MakeTravelService(&f);
 
   QueryOptions options = TravelOptions();
-  service.Query(query, options);
+  (void)service.Query(query, options);  // warm the cache
   options.theta = 0.81;  // different signature: cold again
   EXPECT_FALSE(service.Query(query, options).cache_hit);
 
@@ -247,7 +247,7 @@ TEST(QueryServiceTest, StatsFoldStaleDropsIntoInvalidations) {
   LabelId near = f.near;
   QueryService service = MakeTravelService(&f);
 
-  service.Query(query, TravelOptions());
+  (void)service.Query(query, TravelOptions());  // warm the cache
   ASSERT_EQ(service.cache_size(), 1u);
   ASSERT_TRUE(service.ApplyUpdate(GraphUpdate::Insert(hp, rg, near)));
   ServeStats stats = service.Stats();

@@ -1,13 +1,13 @@
 // osq_cli — command-line front end for the OSQ library.
 //
-//   osq_cli generate --type crossdomain --scale 5000 --seed 7 \
+//   osq_cli generate --type crossdomain --scale 5000 --seed 7
 //           --graph g.txt --ontology o.txt
-//   osq_cli index    --graph g.txt --ontology o.txt --out idx.txt \
+//   osq_cli index    --graph g.txt --ontology o.txt --out idx.txt
 //           [--beta 0.81] [--n 2] [--seed 42] [--threads N]
-//   osq_cli query    --graph g.txt --ontology o.txt \
-//           --pattern '(t:tourists)-[guide]->(m:museum)' \
-//           [--index idx.txt] [--theta 0.9] [--k 10] [--explain] \
-//           [--semantics induced|homomorphic] [--threads N] \
+//   osq_cli query    --graph g.txt --ontology o.txt
+//           --pattern '(t:tourists)-[guide]->(m:museum)'
+//           [--index idx.txt] [--theta 0.9] [--k 10] [--explain]
+//           [--semantics induced|homomorphic] [--threads N]
 //           [--deadline-ms 0]
 //   osq_cli bench    --graph g.txt --ontology o.txt --queries q.txt
 //           [--theta 0.9] [--k 10] [--reps 3] [--threads N]

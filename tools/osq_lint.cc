@@ -1,0 +1,58 @@
+// osq_lint command-line driver.
+//
+//   osq_lint --root <repo-root>      lint every .h/.cc under <root>/src
+//   osq_lint <file> [<file>...]      lint the given files (fixtures, hooks)
+//
+// Exit status: 0 clean, 1 violations found, 2 usage or I/O error.
+// Findings go to stdout as "file:line: [rule] message".
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "osq_lint.h"
+
+int main(int argc, char** argv) {
+  std::string root;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--root") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "osq_lint: --root requires a directory\n");
+        return 2;
+      }
+      root = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      std::fprintf(stderr,
+                   "usage: osq_lint --root <dir> | osq_lint <file>...\n");
+      return 2;
+    } else {
+      files.push_back(std::move(arg));
+    }
+  }
+  if (root.empty() && files.empty()) {
+    root = ".";
+  }
+
+  std::vector<osq::lint::Violation> violations;
+  bool io_ok = true;
+  if (!root.empty()) {
+    io_ok = osq::lint::LintTree(root, &violations) && io_ok;
+  }
+  for (const std::string& f : files) {
+    io_ok = osq::lint::LintFile(f, &violations) && io_ok;
+  }
+  for (const osq::lint::Violation& v : violations) {
+    std::printf("%s\n", v.ToString().c_str());
+  }
+  if (!io_ok) {
+    std::fprintf(stderr, "osq_lint: some inputs could not be read\n");
+    return 2;
+  }
+  if (!violations.empty()) {
+    std::fprintf(stderr, "osq_lint: %zu violation(s)\n", violations.size());
+    return 1;
+  }
+  return 0;
+}

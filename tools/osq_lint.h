@@ -1,0 +1,77 @@
+// osq_lint — OSQ-specific invariant checker run as part of the lint gate
+// (scripts/lint.sh, tier-1).  It enforces project contracts that generic
+// tooling cannot see:
+//
+//   osq-status-nodiscard   `class Status` / `class StatusOr` definitions and
+//                          free Status-returning declarations in headers must
+//                          carry [[nodiscard]], so an ignored error is a
+//                          compile failure, not a silent drop.
+//   osq-raw-lock           No `.lock()` / `.unlock()` (or try_/_shared
+//                          variants) on mutexes outside RAII guards; early
+//                          release through a named unique_lock/shared_lock is
+//                          fine, a bare mutex call is not exception-safe.
+//   osq-no-stdout          No `std::cout` / `printf` / `puts` in library
+//                          code: the library returns data, callers decide
+//                          how to render it.
+//   osq-unordered-iter     Match-emission layers (kmatch, diversify, explain,
+//                          query_engine, serve/) must not iterate unordered
+//                          containers: hash order would leak into
+//                          user-visible result order and break the
+//                          bit-identical determinism contract.
+//   osq-core-determinism   No `rand()` / `srand()` / `std::random_device` /
+//                          `std::mt19937` outside common/rng, no `time()` or
+//                          `system_clock` in library code: all randomness
+//                          flows through the seeded Rng, all clocks through
+//                          timer.h/deadline.h (steady), so runs replay.
+//
+// Suppression: a finding on a line is suppressed by a comment on the same
+// line `NOLINT(osq-<rule>): <justification>` or the previous line
+// `NOLINTNEXTLINE(osq-<rule>): <justification>`.  The justification text is
+// mandatory; a suppression without one is itself a violation.
+
+#ifndef OSQ_TOOLS_OSQ_LINT_H_
+#define OSQ_TOOLS_OSQ_LINT_H_
+
+#include <string>
+#include <vector>
+
+namespace osq {
+namespace lint {
+
+struct Violation {
+  std::string file;
+  size_t line = 0;  // 1-based
+  std::string rule;
+  std::string message;
+
+  // "file:line: [rule] message" — clickable in editors and CI logs.
+  std::string ToString() const;
+};
+
+// Which rule groups apply to a file, derived from its path.
+struct FileClass {
+  bool header = false;      // .h: declaration-side nodiscard rule
+  bool emission = false;    // match-emission layer: unordered-iter rule
+  bool rng_exempt = false;  // common/rng*: may hold the raw engine
+};
+
+// Path-substring classification; works both for tree files (src/core/...)
+// and for test fixtures named after the layer they imitate.
+FileClass ClassifyPath(const std::string& path);
+
+// Lints one file's contents; appends findings to `out`.
+void LintContent(const std::string& path, const std::string& content,
+                 const FileClass& cls, std::vector<Violation>* out);
+
+// Reads and lints `path` (classified from the path).  Returns false when the
+// file cannot be read.
+bool LintFile(const std::string& path, std::vector<Violation>* out);
+
+// Recursively lints every .h/.cc under `root`/src.  Returns false when the
+// directory cannot be walked.
+bool LintTree(const std::string& root, std::vector<Violation>* out);
+
+}  // namespace lint
+}  // namespace osq
+
+#endif  // OSQ_TOOLS_OSQ_LINT_H_

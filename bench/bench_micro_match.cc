@@ -62,6 +62,34 @@ World& TheWorld() {
   return *world;
 }
 
+// Filter-stats sums over one pass of the query set, attached as extras to
+// the BM_GviewFilter JSON row so the trajectory tracks pruning power, not
+// just wall time.
+std::vector<std::pair<std::string, double>> FilterStatExtras() {
+  World& w = TheWorld();
+  QueryOptions options;
+  options.theta = 0.85;
+  options.num_threads = g_threads;
+  FilterStats sum;
+  for (const Graph& q : w.queries) {
+    FilterResult r = GviewFilter(*w.index, q, options);
+    sum.initial_blocks += r.stats.initial_blocks;
+    sum.pruned_blocks += r.stats.pruned_blocks;
+    sum.pruned_nodes += r.stats.pruned_nodes;
+    sum.sig_block_rejections += r.stats.sig_block_rejections;
+    sum.sig_node_rejections += r.stats.sig_node_rejections;
+    sum.gv_nodes += r.stats.gv_nodes;
+  }
+  return {{"initial_blocks", static_cast<double>(sum.initial_blocks)},
+          {"pruned_blocks", static_cast<double>(sum.pruned_blocks)},
+          {"pruned_nodes", static_cast<double>(sum.pruned_nodes)},
+          {"sig_block_rejections",
+           static_cast<double>(sum.sig_block_rejections)},
+          {"sig_node_rejections",
+           static_cast<double>(sum.sig_node_rejections)},
+          {"gv_nodes", static_cast<double>(sum.gv_nodes)}};
+}
+
 void BM_GviewFilter(benchmark::State& state) {
   World& w = TheWorld();
   QueryOptions options;
@@ -75,6 +103,24 @@ void BM_GviewFilter(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GviewFilter)->Unit(benchmark::kMicrosecond);
+
+// Ablation: identical work with the signature index disabled — the ratio
+// NoIndex / indexed is the candidate-index speedup scripts/bench_check.py
+// enforces.
+void BM_GviewFilterNoIndex(benchmark::State& state) {
+  World& w = TheWorld();
+  QueryOptions options;
+  options.theta = 0.85;
+  options.use_candidate_index = false;
+  options.num_threads = g_threads;
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        GviewFilter(*w.index, w.queries[i % w.queries.size()], options));
+    ++i;
+  }
+}
+BENCHMARK(BM_GviewFilterNoIndex)->Unit(benchmark::kMicrosecond);
 
 void BM_KMatchVerify(benchmark::State& state) {
   World& w = TheWorld();
@@ -113,6 +159,25 @@ void BM_FilterVerifyEndToEnd(benchmark::State& state) {
 }
 BENCHMARK(BM_FilterVerifyEndToEnd)->Unit(benchmark::kMicrosecond);
 
+// End-to-end ablation twin of BM_FilterVerifyEndToEnd without the
+// candidate index.
+void BM_FilterVerifyEndToEndNoIndex(benchmark::State& state) {
+  World& w = TheWorld();
+  QueryOptions options;
+  options.theta = 0.85;
+  options.k = 10;
+  options.use_candidate_index = false;
+  options.num_threads = g_threads;
+  size_t i = 0;
+  for (auto _ : state) {
+    size_t j = i % w.queries.size();
+    FilterResult filter = GviewFilter(*w.index, w.queries[j], options);
+    benchmark::DoNotOptimize(KMatch(w.queries[j], filter, options));
+    ++i;
+  }
+}
+BENCHMARK(BM_FilterVerifyEndToEndNoIndex)->Unit(benchmark::kMicrosecond);
+
 void BM_SubIsoWholeGraph(benchmark::State& state) {
   World& w = TheWorld();
   size_t i = 0;
@@ -147,7 +212,10 @@ class JsonCapture : public benchmark::ConsoleReporter {
   void ReportRuns(const std::vector<Run>& runs) override {
     for (const Run& run : runs) {
       report_->Add(run.benchmark_name(), run.GetAdjustedRealTime() / 1000.0,
-                   g_threads);
+                   g_threads,
+                   run.benchmark_name() == "BM_GviewFilter"
+                       ? FilterStatExtras()
+                       : std::vector<std::pair<std::string, double>>{});
     }
     ConsoleReporter::ReportRuns(runs);
   }

@@ -16,8 +16,11 @@
 #   snapshot lifetimes).
 # - lint (scripts/lint.sh) runs osq_lint + clang-tidy-with-baseline +
 #   clang-format --check; see DESIGN.md §10.
+# - OSQ_BENCH_CHECK=1 adds an opt-in bench regression stage: one
+#   bench_micro_match run checked against BENCH_match.json by
+#   scripts/bench_check.py (including the >=5x candidate-index floor).
 #
-# Usage: scripts/tier1.sh [extra cmake args...]
+# Usage: [OSQ_BENCH_CHECK=1] scripts/tier1.sh [extra cmake args...]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -33,9 +36,10 @@ echo "== tier-1: concurrency tests under ThreadSanitizer =="
 cmake -B build-tsan -S . -DOSQ_SANITIZE=thread -DOSQ_WERROR=ON \
   -DOSQ_BUILD_BENCHMARKS=OFF -DOSQ_BUILD_EXAMPLES=OFF "$@"
 cmake --build build-tsan -j --target thread_pool_test \
-  parallel_determinism_test query_service_stress_test deadline_stress_test
+  parallel_determinism_test filter_maintenance_test \
+  query_service_stress_test deadline_stress_test
 ctest --test-dir build-tsan --output-on-failure \
-  -R 'ThreadPoolTest|ResolveNumThreadsTest|ParallelDeterminismTest|QueryServiceStressTest|DeadlineStressTest'
+  -R 'ThreadPoolTest|ResolveNumThreadsTest|ParallelDeterminismTest|FilterMaintenanceTest|QueryServiceStressTest|DeadlineStressTest'
 
 echo "== tier-1: fast suite under UndefinedBehaviorSanitizer =="
 cmake -B build-ubsan -S . -DOSQ_SANITIZE=undefined -DOSQ_WERROR=ON \
@@ -52,5 +56,18 @@ ASAN_OPTIONS="detect_leaks=1:strict_string_checks=1:check_initialization_order=1
 
 echo "== tier-1: lint (osq_lint + clang-tidy + format) =="
 scripts/lint.sh build
+
+# Opt-in bench regression gate (off by default: benchmark timings on shared
+# runners are too noisy to block every run).  Runs the matcher microbench
+# once at --threads 1 and checks the rows against the committed baseline,
+# including the >=5x candidate-index speedup floor.
+if [[ "${OSQ_BENCH_CHECK:-0}" == "1" ]]; then
+  echo "== tier-1 (opt-in): bench regression check vs BENCH_match.json =="
+  cmake --build build -j --target bench_micro_match
+  build/bench/bench_micro_match --threads 1 --json build/bench_fresh.json
+  python3 scripts/bench_check.py build/bench_fresh.json \
+    --baseline BENCH_match.json \
+    --min-ratio BM_FilterVerifyEndToEndNoIndex,BM_FilterVerifyEndToEnd,5
+fi
 
 echo "tier-1 OK"

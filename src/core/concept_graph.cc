@@ -44,6 +44,7 @@ BlockId ConceptGraph::NewBlock(LabelId concept_label) {
   }
   ++num_alive_;
   blocks_by_label_[concept_label].push_back(b);
+  MarkDirty(b);
   return b;
 }
 
@@ -54,6 +55,27 @@ void ConceptGraph::ReleaseBlock(BlockId b) {
   --num_alive_;
   SwapRemove(&blocks_by_label_[block_label_[b]], b);
   free_blocks_.push_back(b);
+  MarkDirty(b);
+}
+
+void ConceptGraph::MarkDirty(BlockId b) {
+  if (b >= dirty_flag_.size()) {
+    dirty_flag_.resize(members_.size(), false);
+  }
+  if (!dirty_flag_[b]) {
+    dirty_flag_[b] = true;
+    dirty_blocks_.push_back(b);
+  }
+}
+
+std::vector<BlockId> ConceptGraph::TakeDirtyBlocks() {
+  for (BlockId b : dirty_blocks_) {
+    dirty_flag_[b] = false;
+  }
+  std::vector<BlockId> result = std::move(dirty_blocks_);
+  dirty_blocks_.clear();
+  std::sort(result.begin(), result.end());
+  return result;
 }
 
 void ConceptGraph::InitCore(const Graph& g, const OntologyGraph& o,
@@ -146,6 +168,9 @@ ConceptGraph ConceptGraph::Build(const Graph& g, const OntologyGraph& o,
   if (stats != nullptr) {
     *stats = local_stats;
   }
+  // Construction dirtied every block; derived indexes start from a fresh
+  // build of the finished partition, so the set begins empty.
+  cg.TakeDirtyBlocks();
   return cg;
 }
 
@@ -179,6 +204,7 @@ ConceptGraph ConceptGraph::FromPartition(
     OSQ_CHECK_MSG(cg.block_of_[v] != kInvalidBlock,
                   "partition does not cover all nodes");
   }
+  cg.TakeDirtyBlocks();  // as in Build: restored partitions start clean
   return cg;
 }
 
@@ -344,6 +370,7 @@ bool ConceptGraph::SplitBlock(BlockId b, std::vector<BlockId>* created) {
     if (it->second.size() > largest->second.size()) largest = it;
   }
   members_[b] = std::move(largest->second);
+  MarkDirty(b);
   LabelId label = block_label_[b];
   for (auto it = groups.begin(); it != groups.end(); ++it) {
     if (it == largest) continue;
@@ -441,6 +468,7 @@ size_t ConceptGraph::MergePass(const std::vector<BlockId>& candidates,
     }
     members_[b].clear();
     ReleaseBlock(b);
+    MarkDirty(target);
     ++merges;
     if (stats != nullptr) ++stats->merges;
     // The merge may unlock merges among the neighbors of the merged block.
@@ -488,6 +516,7 @@ size_t ConceptGraph::RepairAroundEdge(NodeId from, NodeId to,
       ReleaseBlock(victim);
       if (stats != nullptr) ++stats->merges;
     }
+    MarkDirty(keep);
     worklist.push_back(keep);
   }
   worklist.push_back(block_of_[from]);

@@ -171,6 +171,13 @@ class ConceptGraph {
     o_ = o;
   }
 
+  // Drains the set of blocks whose membership changed since the last call
+  // (created, released, split, merged into, or re-coarsened), sorted
+  // ascending; dead ids are included so derived indexes (see
+  // core/candidate_index.h) can clear their per-block state.  Build and
+  // FromPartition finish with an empty dirty set.
+  std::vector<BlockId> TakeDirtyBlocks();
+
  private:
   ConceptGraph() = default;
 
@@ -208,6 +215,10 @@ class ConceptGraph {
   BlockId NewBlock(LabelId concept_label);
   void ReleaseBlock(BlockId b);
 
+  // Records b in the dirty set (see TakeDirtyBlocks).  Called by every
+  // path that rewrites members_ / block_of_.
+  void MarkDirty(BlockId b);
+
   // Neighbor blocks (union over all members; safe mid-refinement).
   std::vector<BlockId> AllNeighborBlocks(BlockId b) const;
 
@@ -228,6 +239,10 @@ class ConceptGraph {
 
   // concept label -> live blocks with that label
   std::unordered_map<LabelId, std::vector<BlockId>> blocks_by_label_;
+
+  // Blocks with membership changes not yet drained by TakeDirtyBlocks.
+  std::vector<BlockId> dirty_blocks_;
+  std::vector<bool> dirty_flag_;
 
   // data label -> assigned concept label (nearest within Radius(beta)).
   std::unordered_map<LabelId, LabelId> concept_of_label_;

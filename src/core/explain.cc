@@ -60,6 +60,10 @@ std::string ExplainQuery(const OntologyIndex& index, const Graph& query,
   out << "\nfiltering (Gview): " << filter_ms << " ms; initial candidate "
       << "blocks=" << filter.stats.initial_blocks
       << ", pruned=" << filter.stats.pruned_blocks << "\n";
+  out << "  signature pruning: block rejections="
+      << filter.stats.sig_block_rejections
+      << ", node rejections=" << filter.stats.sig_node_rejections
+      << "; refinement pruned nodes=" << filter.stats.pruned_nodes << "\n";
   if (filter.no_match) {
     out << "  => no match possible: Q(G) is empty (Prop. 4.2)\n";
     return out.str();

@@ -7,6 +7,7 @@
 
 #include "common/check.h"
 #include "common/thread_pool.h"
+#include "core/candidate_index.h"
 #include "ontology/ontology_graph.h"
 
 namespace osq {
@@ -60,12 +61,19 @@ std::vector<LabelId> MultiSourceBall(const OntologyGraph& o,
 
 // Candidate block sets for every query node in one concept graph, or
 // empty-optional-style failure (returns false) when some query node has no
-// candidate block after refinement.
+// candidate block after refinement.  `cindex` non-null switches the
+// initialization to the signature index: seed from the inverted
+// member-label lists (exactly the blocks holding a theta-passing member)
+// and pre-reject blocks whose aggregate signature cannot satisfy the
+// query node's incident edges (`reqs[u]`).
 bool BlockCandidates(const ConceptGraph& cg, const OntologyGraph& o,
                      const SimilarityFunction& sim, const Graph& query,
                      const QueryOptions& options,
                      const std::vector<std::unordered_map<LabelId, double>>&
                          exact_label_sims,
+                     const CandidateIndex* cindex, size_t graph_index,
+                     const std::vector<SignatureRequirement>& reqs,
+                     const std::vector<std::vector<LabelId>>& sim_labels,
                      const ExecControl* exec,
                      std::vector<std::vector<BlockId>>* out,
                      FilterStats* stats) {
@@ -83,7 +91,27 @@ bool BlockCandidates(const ConceptGraph& cg, const OntologyGraph& o,
         can[u].push_back(b);
       }
     };
-    if (options.lazy_candidates) {
+    if (cindex != nullptr) {
+      // Signature-indexed initialization: the inverted index yields the
+      // exact-ablation block set (blocks with a theta-passing member)
+      // without scanning members, and the block signature rejects blocks
+      // none of whose members can satisfy u's incident query edges.
+      // `seen` (not in_can!) dedups across labels — in_can must hold only
+      // admitted blocks, since the fixpoint reads it as the membership
+      // set of the opposite endpoint.
+      std::vector<bool> seen(cg.block_capacity(), false);
+      for (LabelId l : sim_labels[u]) {
+        for (BlockId b : cindex->BlocksWithMemberLabel(graph_index, l)) {
+          if (seen[b]) continue;
+          seen[b] = true;
+          if (cindex->BlockPasses(graph_index, b, reqs[u])) {
+            add_block(b);
+          } else {
+            ++stats->sig_block_rejections;
+          }
+        }
+      }
+    } else if (options.lazy_candidates) {
       // Lazy strategy (paper, Gview line 4): candidate blocks are found by
       // label distance alone, never by scanning members.  The paper admits
       // every block whose concept label is within Radius(theta) +
@@ -121,10 +149,12 @@ bool BlockCandidates(const ConceptGraph& cg, const OntologyGraph& o,
   // keeps the current candidate sets — a sound over-approximation, since
   // any prefix of the pruning sequence only removed impossible blocks.
   CancelCheck check(exec);
+  // The query's edge list is loop-invariant; materialize it once, not per
+  // fixpoint pass.
+  std::vector<EdgeTriple> qedges = query.EdgeList();
   bool changed = true;
   while (changed && !check.Stop()) {
     changed = false;
-    std::vector<EdgeTriple> qedges = query.EdgeList();
     for (const EdgeTriple& e : qedges) {
       NodeId q1 = e.from;
       NodeId q2 = e.to;
@@ -206,6 +236,24 @@ FilterResult GviewFilter(const OntologyIndex& index, const Graph& query,
     }
   }
 
+  // Signature-index plumbing: per query node, the requirement its matches'
+  // signatures must satisfy, plus the sorted theta-passing label list used
+  // to walk the inverted block index.
+  const CandidateIndex* cindex =
+      options.use_candidate_index ? &index.candidate_index() : nullptr;
+  std::vector<SignatureRequirement> reqs(nq);
+  std::vector<std::vector<LabelId>> sim_labels(nq);
+  if (cindex != nullptr) {
+    ParallelFor(num_threads, nq, [&](size_t u) {
+      reqs[u] = BuildSignatureRequirement(query, static_cast<NodeId>(u),
+                                          exact_label_sims);
+      for (const auto& [label, unused_sim] : exact_label_sims[u]) {
+        sim_labels[u].push_back(label);
+      }
+      std::sort(sim_labels[u].begin(), sim_labels[u].end());
+    });
+  }
+
   // Per concept graph: candidate blocks plus their member lists, computed
   // in parallel (the refinement fixpoint of one concept graph is
   // independent of every other graph's).  The intersection across graphs
@@ -224,7 +272,8 @@ FilterResult GviewFilter(const OntologyIndex& index, const Graph& query,
     PerGraph& pg = per_graph[i];
     std::vector<std::vector<BlockId>> can;
     pg.ok = BlockCandidates(cg, o, sim, query, options, exact_label_sims,
-                            exec, &can, &pg.stats);
+                            cindex, i, reqs, sim_labels, exec, &can,
+                            &pg.stats);
     if (!pg.ok) return;
     pg.nodes.resize(nq);
     for (NodeId u = 0; u < nq; ++u) {
@@ -249,6 +298,7 @@ FilterResult GviewFilter(const OntologyIndex& index, const Graph& query,
     PerGraph& pg = per_graph[i];
     result.stats.initial_blocks += pg.stats.initial_blocks;
     result.stats.pruned_blocks += pg.stats.pruned_blocks;
+    result.stats.sig_block_rejections += pg.stats.sig_block_rejections;
     result.stats.stopped =
         MergeStopReason(result.stats.stopped, pg.stats.stopped);
     if (!pg.ok) {
@@ -274,16 +324,27 @@ FilterResult GviewFilter(const OntologyIndex& index, const Graph& query,
 
   // Exact theta pruning: the lazy strategy over-approximates; keep only
   // data nodes whose label truly clears the threshold, remembering sims.
+  // With the signature index on, a node whose signature cannot satisfy
+  // some incident query edge is dropped here too — before the node-level
+  // fixpoint ever scans its adjacency (lossless: every match's signature
+  // passes its requirement).
   std::vector<std::vector<std::pair<NodeId, double>>> exact(nq);
+  std::vector<size_t> node_rejects(nq, 0);
   ParallelFor(num_threads, nq, [&](size_t u) {
     const auto& sims = exact_label_sims[u];
     for (NodeId v : mat[u]) {
       auto it = sims.find(g.NodeLabel(v));
-      if (it != sims.end()) {
-        exact[u].push_back({v, it->second});
+      if (it == sims.end()) continue;
+      if (cindex != nullptr && !cindex->NodePasses(v, reqs[u])) {
+        ++node_rejects[u];
+        continue;
       }
+      exact[u].push_back({v, it->second});
     }
   });
+  for (NodeId u = 0; u < nq; ++u) {
+    result.stats.sig_node_rejections += node_rejects[u];
+  }
   for (NodeId u = 0; u < nq; ++u) {
     if (exact[u].empty()) {
       result.no_match = true;
@@ -331,6 +392,7 @@ FilterResult GviewFilter(const OntologyIndex& index, const Graph& query,
               list[kept++] = list[i];
             } else {
               is_cand[holder][v] = false;
+              ++result.stats.pruned_nodes;
               changed = true;
             }
           }

@@ -44,6 +44,13 @@ struct FilterStats {
   size_t initial_blocks = 0;
   // Candidate blocks dropped by the fixpoint refinement.
   size_t pruned_blocks = 0;
+  // Data-node candidates dropped by the node-level refinement fixpoint.
+  size_t pruned_nodes = 0;
+  // Candidate blocks / data nodes rejected up front by the precomputed
+  // neighborhood signatures (core/candidate_index.h); zero when
+  // QueryOptions::use_candidate_index is off.
+  size_t sig_block_rejections = 0;
+  size_t sig_node_rejections = 0;
   // Size of the extracted G_v.
   size_t gv_nodes = 0;
   size_t gv_edges = 0;
@@ -74,6 +81,14 @@ struct FilterResult {
 
 // Runs Gview for `query` over the index.  `query` must be a valid query
 // graph (see ValidateQuery); options.theta in (0, 1].
+//
+// With options.use_candidate_index (default), the precomputed neighborhood
+// signatures (core/candidate_index.h) seed the block fixpoint with exactly
+// the blocks holding a theta-passing member and pre-reject candidates whose
+// signature cannot satisfy some incident query edge.  The returned matches
+// downstream are bit-identical either way; the candidate sets and G_v with
+// the index on are subsets of the index-off ones (still supersets of every
+// match node — Prop. 4.2 is preserved).
 //
 // With options.num_threads > 1 the per-concept-graph refinement and the
 // per-query-node candidate stages run on the shared thread pool; every

@@ -1,9 +1,12 @@
 #include "core/index_io.h"
 
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <vector>
+
+#include "graph/graph_algorithms.h"
 
 namespace osq {
 
@@ -81,6 +84,12 @@ Status SaveIndex(const OntologyIndex& index, const LabelDictionary& dict,
        << opt.beta << ' ' << index.num_concept_graphs() << ' '
        << opt.num_clusters << ' ' << opt.seed << ' '
        << (opt.edge_label_aware ? 1 : 0) << '\n';
+  // Graph-identity record: pins the file to the data graph it was saved
+  // over, so a load against any other graph fails fast (InvalidArgument)
+  // instead of blindly trusting the partition records.
+  const Graph& g = index.data_graph();
+  *out << "candidateindex " << g.num_nodes() << ' ' << g.num_edges() << ' '
+       << GraphContentHash(g) << '\n';
   for (size_t i = 0; i < index.num_concept_graphs(); ++i) {
     const ConceptGraph& cg = index.concept_graph(i);
     std::vector<BlockId> blocks = cg.AliveBlocks();
@@ -162,6 +171,41 @@ Status LoadIndex(std::istream* in, const Graph& g, const OntologyGraph& o,
     }
   }
 
+  // Optional graph-identity record (files written before it lack one and
+  // keep parsing as plain v1).  Validating here — before the expensive
+  // partition load — turns "this file belongs to a different graph" into a
+  // clean InvalidArgument instead of blind trust in the block records or a
+  // misleading Corruption from a downstream invariant check.
+  std::string pending;
+  bool has_pending = false;
+  if (std::getline(*in, line)) {
+    std::istringstream ls(line);
+    std::string tag;
+    ls >> tag;
+    if (tag == "candidateindex") {
+      uint64_t nodes = 0;
+      uint64_t edges = 0;
+      uint64_t hash = 0;
+      std::string extra;
+      if (!(ls >> nodes >> edges >> hash) || (ls >> extra)) {
+        return Status::Corruption("bad candidateindex record");
+      }
+      if (nodes != g.num_nodes() || edges != g.num_edges()) {
+        return Status::InvalidArgument(
+            "index file was built over a different graph "
+            "(node/edge counts differ)");
+      }
+      if (hash != GraphContentHash(g)) {
+        return Status::InvalidArgument(
+            "index file was built over a different graph "
+            "(content hash mismatch)");
+      }
+    } else {
+      pending = line;
+      has_pending = true;
+    }
+  }
+
   SimilarityFunction sim = MakeSimilarity(options);
   ConceptGraphOptions cg_options;
   cg_options.beta = options.beta;
@@ -172,7 +216,10 @@ Status LoadIndex(std::istream* in, const Graph& g, const OntologyGraph& o,
     size_t idx = 0;
     size_t num_concepts = 0;
     size_t num_blocks = 0;
-    if (!std::getline(*in, line)) {
+    if (has_pending) {
+      line = std::move(pending);
+      has_pending = false;
+    } else if (!std::getline(*in, line)) {
       return Status::Corruption("missing conceptgraph record");
     }
     {

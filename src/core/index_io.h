@@ -7,14 +7,21 @@
 // was built from, loaded through any dictionary:
 //
 //   # osq index v1
-//   options <base> <beta> <N> <clusters> <seed> <aware01> <coarsen> <peers>
+//   options <model> <base> <cutoff> <beta> <N> <clusters> <seed> <aware01>
+//   candidateindex <#nodes> <#edges> <content-hash>
 //   conceptgraph <i> <#concepts> <#blocks>
 //   concepts <name>...
 //   block <label-name> <#members> <node-id>...
 //
-// LoadIndexFromFile re-validates the partition invariants against the
-// provided graph/ontology and fails with Corruption on any mismatch, so a
-// stale index cannot silently serve wrong filters.
+// The candidateindex record pins the file to the data graph it was saved
+// over (GraphContentHash); loading against a different graph fails with
+// InvalidArgument before any partition record is trusted.  Files written
+// without the record (older v1) still load.  The candidate-pruning index
+// itself is derived data and is rebuilt from the restored partitions.
+//
+// LoadIndexFromFile additionally re-validates the partition invariants
+// against the provided graph/ontology and fails with Corruption on any
+// mismatch, so a stale index cannot silently serve wrong filters.
 
 #ifndef OSQ_CORE_INDEX_IO_H_
 #define OSQ_CORE_INDEX_IO_H_

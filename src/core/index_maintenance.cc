@@ -34,6 +34,9 @@ bool ApplyUpdate(Graph* g, OntologyIndex* index, const GraphUpdate& update,
       stats->merges += cg_stats.merges;
     }
   }
+  // With every partition repaired, re-derive the candidate-index state the
+  // update invalidated (endpoint signatures + touched block aggregates).
+  index->RepairCandidateIndexAfterEdge(e.from, e.to);
   if (stats != nullptr) ++stats->applied;
   return true;
 }
@@ -55,6 +58,7 @@ NodeId AddNodeWithIndex(Graph* g, OntologyIndex* index, LabelId label) {
   for (size_t i = 0; i < index->num_concept_graphs(); ++i) {
     index->mutable_concept_graph(i)->RegisterNewNode(v);
   }
+  index->RegisterNodeInCandidateIndex(v);
   return v;
 }
 

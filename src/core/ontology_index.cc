@@ -1,5 +1,6 @@
 #include "core/ontology_index.h"
 
+#include <algorithm>
 #include <optional>
 #include <utility>
 
@@ -64,6 +65,8 @@ OntologyIndex OntologyIndex::Build(const Graph& g, const OntologyGraph& o,
   for (NodeId v = 0; v < g.num_nodes(); ++v) {
     index.RegisterDataLabel(g.NodeLabel(v));
   }
+  index.candidate_index_ =
+      CandidateIndex::Build(g, index.graphs_, options.num_threads);
   if (stats != nullptr) {
     *stats = local;
   }
@@ -83,6 +86,11 @@ OntologyIndex OntologyIndex::FromParts(const Graph& g, const OntologyGraph& o,
   for (NodeId v = 0; v < g.num_nodes(); ++v) {
     index.RegisterDataLabel(g.NodeLabel(v));
   }
+  // The candidate index is derived data: rebuild it over the restored
+  // partitions (index_io pins the graph identity with a content hash, so a
+  // load against the wrong graph fails before reaching this point).
+  index.candidate_index_ =
+      CandidateIndex::Build(g, index.graphs_, options.num_threads);
   return index;
 }
 
@@ -91,6 +99,28 @@ void OntologyIndex::RegisterDataLabel(LabelId label) {
     data_label_count_.resize(label + 1, 0);
   }
   ++data_label_count_[label];
+}
+
+void OntologyIndex::RepairCandidateIndexAfterEdge(NodeId from, NodeId to) {
+  candidate_index_.OnEdgeChanged(*g_, from, to);
+  for (size_t i = 0; i < graphs_.size(); ++i) {
+    // Even when the partition did not move, the endpoint signatures just
+    // changed, so their blocks' aggregates must be refreshed too.
+    std::vector<BlockId> dirty = graphs_[i].TakeDirtyBlocks();
+    dirty.push_back(graphs_[i].BlockOf(from));
+    dirty.push_back(graphs_[i].BlockOf(to));
+    std::sort(dirty.begin(), dirty.end());
+    dirty.erase(std::unique(dirty.begin(), dirty.end()), dirty.end());
+    candidate_index_.RepairBlocks(i, *g_, graphs_[i], dirty);
+  }
+}
+
+void OntologyIndex::RegisterNodeInCandidateIndex(NodeId v) {
+  candidate_index_.OnNodeAdded(*g_, v);
+  for (size_t i = 0; i < graphs_.size(); ++i) {
+    candidate_index_.RepairBlocks(i, *g_, graphs_[i],
+                                  graphs_[i].TakeDirtyBlocks());
+  }
 }
 
 void OntologyIndex::Rebind(const Graph* g, const OntologyGraph* o) {

@@ -10,6 +10,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "core/candidate_index.h"
 #include "core/concept_graph.h"
 #include "core/options.h"
 #include "graph/graph.h"
@@ -59,6 +60,12 @@ class OntologyIndex {
   size_t num_concept_graphs() const { return graphs_.size(); }
   const ConceptGraph& concept_graph(size_t i) const { return graphs_[i]; }
   ConceptGraph* mutable_concept_graph(size_t i) { return &graphs_[i]; }
+  const std::vector<ConceptGraph>& concept_graphs() const { return graphs_; }
+
+  // The precomputed candidate-pruning index (always built alongside the
+  // concept graphs; QueryOptions::use_candidate_index controls whether the
+  // filter consults it).
+  const CandidateIndex& candidate_index() const { return candidate_index_; }
 
   // |I|: total blocks plus block edges across all concept graphs.
   size_t TotalSize() const;
@@ -70,6 +77,14 @@ class OntologyIndex {
   }
   // Maintenance hook: records the label of a node added after Build.
   void RegisterDataLabel(LabelId label);
+
+  // Maintenance hooks for the candidate index, called by ApplyUpdate /
+  // AddNodeWithIndex AFTER the data graph and every concept graph reflect
+  // the change: recompute the endpoint node signatures (resp. append the
+  // new node's) and re-derive the block signatures of every block the
+  // concept-graph repairs touched.
+  void RepairCandidateIndexAfterEdge(NodeId from, NodeId to);
+  void RegisterNodeInCandidateIndex(NodeId v);
 
   // Re-points the borrowed data-graph / ontology pointers (here and in
   // every concept graph) at relocated instances.  `g` and `o` must be the
@@ -89,6 +104,7 @@ class OntologyIndex {
   SimilarityFunction sim_{0.9};
   IndexOptions options_;
   std::vector<ConceptGraph> graphs_;
+  CandidateIndex candidate_index_;
   // data_label_count_[l] = number of data nodes labeled l at build time
   // plus nodes registered since.
   std::vector<uint32_t> data_label_count_;

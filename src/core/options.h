@@ -64,6 +64,14 @@ struct QueryOptions {
   // compute per-node exact candidates directly against the ontology
   // (ablation knob; the paper's Gview uses the lazy strategy).
   bool lazy_candidates = true;
+  // Consult the precomputed neighborhood-signature index
+  // (core/candidate_index.h) to seed the block fixpoint with the exact
+  // theta-passing block set and to reject candidates by signature before
+  // any adjacency scan.  Returned matches are bit-identical with the flag
+  // on or off; candidate sets / G_v can only shrink (ablation knob for the
+  // bench).  When on, this supersedes lazy_candidates for the block
+  // initialization (the signature seeding is already exact and lazy).
+  bool use_candidate_index = true;
   // Safety valve for adversarial inputs: abort enumeration after this many
   // backtracking steps (0 = unlimited).  Benches leave it unlimited.  With
   // parallel verification the budget applies to each root-candidate

@@ -1,0 +1,251 @@
+#include "core/candidate_index.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+#include "common/rng.h"
+#include "core/filtering.h"
+#include "core/index_maintenance.h"
+#include "core/kmatch.h"
+#include "core/ontology_index.h"
+#include "gen/query_gen.h"
+#include "gen/scenarios.h"
+#include "graph/graph.h"
+#include "test_util.h"
+
+namespace osq {
+namespace {
+
+OntologyIndex BuildTravelIndex(const test::TravelFixture& f) {
+  IndexOptions options;
+  options.beta = 0.81;
+  options.num_concept_graphs = 2;
+  return OntologyIndex::Build(f.g, f.o, options);
+}
+
+// Independent oracle for one node's signature, straight from the graph.
+NodeSignature OracleSignature(const Graph& g, NodeId v) {
+  NodeSignature sig;
+  std::map<LabelId, uint32_t> out_deg;
+  std::map<LabelId, uint32_t> in_deg;
+  for (const AdjEntry& e : g.OutEdges(v)) {
+    sig.out_bits |= uint64_t{1}
+                    << CandidateIndex::PairBit(e.label, g.NodeLabel(e.node));
+    ++out_deg[e.label];
+  }
+  for (const AdjEntry& e : g.InEdges(v)) {
+    sig.in_bits |= uint64_t{1}
+                   << CandidateIndex::PairBit(e.label, g.NodeLabel(e.node));
+    ++in_deg[e.label];
+  }
+  sig.out_counts.assign(out_deg.begin(), out_deg.end());
+  sig.in_counts.assign(in_deg.begin(), in_deg.end());
+  return sig;
+}
+
+TEST(CandidateIndexTest, NodeSignaturesMatchAdjacency) {
+  test::TravelFixture f = test::MakeTravelFixture();
+  OntologyIndex index = BuildTravelIndex(f);
+  const CandidateIndex& ci = index.candidate_index();
+  ASSERT_EQ(ci.num_nodes(), f.g.num_nodes());
+  for (NodeId v = 0; v < f.g.num_nodes(); ++v) {
+    EXPECT_EQ(ci.node_signature(v), OracleSignature(f.g, v)) << "node " << v;
+  }
+}
+
+TEST(CandidateIndexTest, BlockSignaturesAggregateMembers) {
+  test::TravelFixture f = test::MakeTravelFixture();
+  OntologyIndex index = BuildTravelIndex(f);
+  const CandidateIndex& ci = index.candidate_index();
+  ASSERT_EQ(ci.num_graphs(), index.num_concept_graphs());
+  for (size_t i = 0; i < index.num_concept_graphs(); ++i) {
+    const ConceptGraph& cg = index.concept_graph(i);
+    std::map<LabelId, std::vector<BlockId>> inverted;
+    for (BlockId b : cg.AliveBlocks()) {
+      const BlockSignature& bs = ci.block_signature(i, b);
+      uint64_t out_bits = 0;
+      uint64_t in_bits = 0;
+      std::set<LabelId> labels;
+      for (NodeId v : cg.Members(b)) {
+        const NodeSignature& ns = ci.node_signature(v);
+        out_bits |= ns.out_bits;
+        in_bits |= ns.in_bits;
+        labels.insert(f.g.NodeLabel(v));
+        // Per-label max must dominate every member's per-label count.
+        EXPECT_TRUE(SignatureCountsDominate(bs.max_out_counts, ns.out_counts));
+        EXPECT_TRUE(SignatureCountsDominate(bs.max_in_counts, ns.in_counts));
+      }
+      EXPECT_EQ(bs.out_bits, out_bits);
+      EXPECT_EQ(bs.in_bits, in_bits);
+      EXPECT_EQ(bs.member_labels,
+                std::vector<LabelId>(labels.begin(), labels.end()));
+      for (LabelId l : bs.member_labels) inverted[l].push_back(b);
+    }
+    for (const auto& [label, blocks] : inverted) {
+      EXPECT_EQ(ci.BlocksWithMemberLabel(i, label), blocks);
+    }
+    EXPECT_TRUE(ci.BlocksWithMemberLabel(i, 999999).empty());
+  }
+}
+
+TEST(CandidateIndexTest, RequirementAcceptsMatchesRejectsImpossible) {
+  test::TravelFixture f = test::MakeTravelFixture();
+  OntologyIndex index = BuildTravelIndex(f);
+  const CandidateIndex& ci = index.candidate_index();
+
+  // Exact label-sims tables at theta = 0.9 for the travel query.
+  std::vector<std::unordered_map<LabelId, double>> sims(f.query.num_nodes());
+  const SimilarityFunction& sim = index.sim();
+  for (NodeId u = 0; u < f.query.num_nodes(); ++u) {
+    for (NodeId v = 0; v < f.g.num_nodes(); ++v) {
+      double s =
+          sim.Similarity(f.o, f.query.NodeLabel(u), f.g.NodeLabel(v), 0.9);
+      if (s > 0.0) sims[u].emplace(f.g.NodeLabel(v), s);
+    }
+  }
+  // The known match nodes (Example IV.3) must pass their query node's
+  // requirement — signature tests are necessary conditions.
+  EXPECT_TRUE(ci.NodePasses(
+      f.rg, BuildSignatureRequirement(f.query, f.q_museum, sims)));
+  EXPECT_TRUE(ci.NodePasses(
+      f.ct, BuildSignatureRequirement(f.query, f.q_tourists, sims)));
+  EXPECT_TRUE(ci.NodePasses(
+      f.starlight, BuildSignatureRequirement(f.query, f.q_moonlight, sims)));
+
+  // An impossible degree demand rejects everyone.
+  SignatureRequirement impossible;
+  impossible.out_counts.push_back({0, 1000});
+  for (NodeId v = 0; v < f.g.num_nodes(); ++v) {
+    EXPECT_FALSE(ci.NodePasses(v, impossible));
+  }
+}
+
+// Heap-allocated so the index's borrowed graph/ontology pointers stay
+// valid (moving the Dataset would relocate the graphs under the index).
+struct SmallWorld {
+  gen::Dataset ds;
+  std::unique_ptr<OntologyIndex> index;
+  std::vector<Graph> queries;
+};
+
+std::unique_ptr<SmallWorld> MakeSmallWorld(uint64_t seed) {
+  auto w = std::make_unique<SmallWorld>();
+  gen::ScenarioParams p;
+  p.scale = 500;
+  p.seed = seed;
+  w->ds = gen::MakeCrossDomainLike(p);
+  IndexOptions idx;
+  idx.num_concept_graphs = 2;
+  w->index = std::make_unique<OntologyIndex>(
+      OntologyIndex::Build(w->ds.graph, w->ds.ontology, idx));
+  Rng rng(seed + 7);
+  gen::QueryGenParams qp;
+  qp.num_nodes = 4;
+  qp.generalize_prob = 0.5;
+  size_t attempts = 0;
+  while (w->queries.size() < 6 && ++attempts < 200) {
+    Graph q = gen::ExtractQuery(w->ds.graph, w->ds.ontology, qp, &rng);
+    if (!q.empty()) w->queries.push_back(std::move(q));
+  }
+  return w;
+}
+
+std::set<NodeId> CandidateOriginals(const FilterResult& r, NodeId q) {
+  std::set<NodeId> out;
+  for (const Candidate& c : r.candidates[q]) {
+    out.insert(r.gv.to_original[c.node]);
+  }
+  return out;
+}
+
+TEST(CandidateIndexTest, FilterWithIndexIsLossless) {
+  std::unique_ptr<SmallWorld> w = MakeSmallWorld(19);
+  ASSERT_FALSE(w->queries.empty());
+  for (const Graph& q : w->queries) {
+    QueryOptions on;
+    on.theta = 0.85;
+    on.k = 0;  // all matches — strongest equality check
+    QueryOptions off = on;
+    off.use_candidate_index = false;
+
+    FilterResult r_on = GviewFilter(*w->index, q, on);
+    FilterResult r_off = GviewFilter(*w->index, q, off);
+    // Index-off must never run the signature tests.
+    EXPECT_EQ(r_off.stats.sig_block_rejections, 0u);
+    EXPECT_EQ(r_off.stats.sig_node_rejections, 0u);
+
+    // Candidate sets with the index on are subsets of the index-off ones.
+    if (!r_on.no_match && !r_off.no_match) {
+      for (NodeId u = 0; u < q.num_nodes(); ++u) {
+        std::set<NodeId> s_on = CandidateOriginals(r_on, u);
+        std::set<NodeId> s_off = CandidateOriginals(r_off, u);
+        EXPECT_TRUE(std::includes(s_off.begin(), s_off.end(), s_on.begin(),
+                                  s_on.end()));
+      }
+    }
+
+    // Returned matches are bit-identical.  KMatch already reports
+    // mappings in original node ids, so Match compares directly.
+    std::vector<Match> m_on =
+        r_on.no_match ? std::vector<Match>{} : KMatch(q, r_on, on);
+    std::vector<Match> m_off =
+        r_off.no_match ? std::vector<Match>{} : KMatch(q, r_off, off);
+    ASSERT_EQ(m_on.size(), m_off.size());
+    for (size_t m = 0; m < m_on.size(); ++m) {
+      EXPECT_EQ(m_on[m].mapping, m_off[m].mapping) << "match " << m;
+      EXPECT_DOUBLE_EQ(m_on[m].score, m_off[m].score) << "match " << m;
+    }
+  }
+}
+
+TEST(CandidateIndexTest, MaintainedIndexEqualsRebuild) {
+  std::unique_ptr<SmallWorld> w = MakeSmallWorld(29);
+  Graph& g = w->ds.graph;
+  Rng rng(31);
+  std::set<LabelId> edge_labels;
+  for (const EdgeTriple& e : g.EdgeList()) edge_labels.insert(e.label);
+  std::vector<LabelId> labels(edge_labels.begin(), edge_labels.end());
+  ASSERT_FALSE(labels.empty());
+
+  size_t applied = 0;
+  for (size_t step = 0; step < 30; ++step) {
+    if (step % 11 == 10) {
+      LabelId label =
+          g.NodeLabel(static_cast<NodeId>(rng.Index(g.num_nodes())));
+      AddNodeWithIndex(&g, w->index.get(), label);
+      ++applied;
+      continue;
+    }
+    GraphUpdate update;
+    if (rng.Bernoulli(0.5) && g.num_edges() > 0) {
+      std::vector<EdgeTriple> edges = g.EdgeList();
+      EdgeTriple e = edges[rng.Index(edges.size())];
+      update = GraphUpdate::Delete(e.from, e.to, e.label);
+    } else {
+      NodeId u = static_cast<NodeId>(rng.Index(g.num_nodes()));
+      NodeId v = static_cast<NodeId>(rng.Index(g.num_nodes()));
+      if (u == v) continue;
+      update = GraphUpdate::Insert(u, v, labels[rng.Index(labels.size())]);
+    }
+    if (ApplyUpdate(&g, w->index.get(), update)) ++applied;
+  }
+  ASSERT_GT(applied, 5u);
+
+  // The incrementally maintained candidate index must be structurally
+  // identical to one rebuilt from scratch over the same (mutated) graph
+  // and the same (repaired) partitions — every vector is canonically
+  // sorted, so equality is exact, not modulo ordering.
+  CandidateIndex fresh =
+      CandidateIndex::Build(g, w->index->concept_graphs(), /*num_threads=*/1);
+  EXPECT_TRUE(w->index->candidate_index() == fresh);
+}
+
+}  // namespace
+}  // namespace osq

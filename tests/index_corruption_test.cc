@@ -13,6 +13,7 @@
 
 #include <gtest/gtest.h>
 
+#include "graph/graph_algorithms.h"
 #include "graph/label_dictionary.h"
 #include "ontology/ontology_graph.h"
 
@@ -157,6 +158,113 @@ TEST(IndexCorruptionTest, TrailingSecondGraphIsRejected) {
   std::stringstream ss(std::string(kValidFile) + kValidFile);
   Status s = LoadIndex(&ss, f.g, f.o, &f.dict, &f.scratch);
   EXPECT_EQ(s.code(), StatusCode::kCorruption);
+}
+
+// --- Graph-identity record (candidateindex) --------------------------------
+
+std::string WithIdentityRecord(const TinyFixture& f) {
+  std::ostringstream rec;
+  rec << "candidateindex " << f.g.num_nodes() << ' ' << f.g.num_edges()
+      << ' ' << GraphContentHash(f.g) << '\n';
+  std::string valid = kValidFile;
+  size_t pos = valid.find("conceptgraph");
+  return valid.substr(0, pos) + rec.str() + valid.substr(pos);
+}
+
+TEST(IndexCorruptionTest, CorrectIdentityRecordLoads) {
+  TinyFixture f;
+  std::stringstream ss(WithIdentityRecord(f));
+  ASSERT_TRUE(LoadIndex(&ss, f.g, f.o, &f.dict, &f.scratch).ok());
+  EXPECT_TRUE(f.scratch.Validate());
+}
+
+TEST(IndexCorruptionTest, MismatchedGraphIsInvalidArgumentNotCorruption) {
+  // A file claiming different node/edge counts or a different content hash
+  // was saved over ANOTHER graph: the loader must refuse with
+  // InvalidArgument (caller error — wrong graph) instead of trusting the
+  // partition records or reporting a misleading Corruption.
+  TinyFixture f;
+  const std::string header = "# osq index v1\noptions 0 0.9 2 0.81 1 8 42 0\n";
+  const std::string rest = "conceptgraph 0 1 1\nconcepts a\nblock a 2 0 1\n";
+  const std::vector<std::string> wrong = {
+      "candidateindex 3 0 12345\n",  // wrong node count
+      "candidateindex 2 9 12345\n",  // wrong edge count
+      "candidateindex 2 0 12345\n",  // right counts, wrong hash
+  };
+  std::set<std::string> messages;
+  for (const std::string& rec : wrong) {
+    TinyFixture fresh;
+    std::stringstream ss(header + rec + rest);
+    Status s = LoadIndex(&ss, fresh.g, fresh.o, &fresh.dict, &fresh.scratch);
+    EXPECT_EQ(s.code(), StatusCode::kInvalidArgument) << rec << s.message();
+    messages.insert(std::string(s.message()));
+  }
+  // Count mismatch and hash mismatch report differently.
+  EXPECT_EQ(messages.size(), 2u);
+}
+
+TEST(IndexCorruptionTest, MalformedIdentityRecordIsCorruption) {
+  TinyFixture f;
+  const std::string header = "# osq index v1\noptions 0 0.9 2 0.81 1 8 42 0\n";
+  const std::string rest = "conceptgraph 0 1 1\nconcepts a\nblock a 2 0 1\n";
+  for (const std::string& rec :
+       {std::string("candidateindex\n"), std::string("candidateindex 2\n"),
+        std::string("candidateindex 2 0\n"),
+        std::string("candidateindex 2 0 nothex\n"),
+        std::string("candidateindex 2 0 1 extra\n")}) {
+    TinyFixture fresh;
+    std::stringstream ss(header + rec + rest);
+    Status s = LoadIndex(&ss, fresh.g, fresh.o, &fresh.dict, &fresh.scratch);
+    EXPECT_EQ(s.code(), StatusCode::kCorruption) << rec << s.message();
+  }
+}
+
+TEST(IndexCorruptionTest, IdentityRecordAfterBlocksIsTrailingGarbage) {
+  // The record is only valid straight after options; one appearing after
+  // the partition records means a concatenated or hand-edited file.
+  TinyFixture f;
+  std::stringstream ss(std::string(kValidFile) + "candidateindex 2 0 1\n");
+  Status s = LoadIndex(&ss, f.g, f.o, &f.dict, &f.scratch);
+  EXPECT_EQ(s.code(), StatusCode::kCorruption);
+}
+
+TEST(IndexCorruptionTest, SaveLoadAgainstDifferentGraphIsRejected) {
+  // End-to-end: save over the tiny graph, then load against a graph with
+  // one extra node (counts differ) and against a same-shape graph with a
+  // different edge set (hash differs).
+  TinyFixture f;
+  std::ostringstream saved;
+  ASSERT_TRUE(SaveIndex(f.scratch, f.dict, &saved).ok());
+
+  {
+    LabelDictionary dict2;
+    Graph g2;
+    OntologyGraph o2;
+    LabelId a = dict2.Intern("a");
+    g2.AddNode(a);
+    g2.AddNode(a);
+    g2.AddNode(a);  // extra node
+    o2.AddLabel(a);
+    OntologyIndex scratch2 = OntologyIndex::Build(g2, o2, IndexOptions{});
+    std::stringstream ss(saved.str());
+    Status s = LoadIndex(&ss, g2, o2, &dict2, &scratch2);
+    EXPECT_EQ(s.code(), StatusCode::kInvalidArgument) << s.message();
+  }
+  {
+    LabelDictionary dict2;
+    Graph g2;
+    OntologyGraph o2;
+    LabelId a = dict2.Intern("a");
+    LabelId b = dict2.Intern("b");
+    g2.AddNode(a);
+    g2.AddNode(b);  // same node/edge counts, different labels => hash differs
+    o2.AddLabel(a);
+    o2.AddLabel(b);
+    OntologyIndex scratch2 = OntologyIndex::Build(g2, o2, IndexOptions{});
+    std::stringstream ss(saved.str());
+    Status s = LoadIndex(&ss, g2, o2, &dict2, &scratch2);
+    EXPECT_EQ(s.code(), StatusCode::kInvalidArgument) << s.message();
+  }
 }
 
 }  // namespace

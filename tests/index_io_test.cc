@@ -104,7 +104,9 @@ TEST(IndexIoTest, RejectsMissingHeader) {
 
 TEST(IndexIoTest, RejectsIndexForDifferentGraph) {
   // Save an index for the travel graph, then try to load it against a
-  // graph whose labels changed: the coverage invariant no longer holds.
+  // graph whose labels changed: the identity record catches the content
+  // drift up front as a caller error (InvalidArgument), before the
+  // partition records are trusted at all.
   test::TravelFixture f = test::MakeTravelFixture();
   IndexOptions options;
   OntologyIndex index = OntologyIndex::Build(f.g, f.o, options);
@@ -115,7 +117,7 @@ TEST(IndexIoTest, RejectsIndexForDifferentGraph) {
   f2.g.SetNodeLabel(f2.ct, f2.dict.Intern("zzz_unrelated"));
   OntologyIndex out = OntologyIndex::Build(f2.g, f2.o, options);
   Status s = LoadIndex(&ss, f2.g, f2.o, &f2.dict, &out);
-  EXPECT_EQ(s.code(), StatusCode::kCorruption);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
 }
 
 TEST(IndexIoTest, RejectsNodeCountMismatch) {
@@ -128,7 +130,7 @@ TEST(IndexIoTest, RejectsNodeCountMismatch) {
   f2.g.AddNode(f2.dict.Lookup("starlight"));  // one extra node
   OntologyIndex out = OntologyIndex::Build(f2.g, f2.o, IndexOptions{});
   EXPECT_EQ(LoadIndex(&ss, f2.g, f2.o, &f2.dict, &out).code(),
-            StatusCode::kCorruption);
+            StatusCode::kInvalidArgument);
 }
 
 TEST(IndexIoTest, RejectsDoubleAssignment) {

@@ -1,0 +1,220 @@
+// Cold-start benchmark: how long until a process can serve queries?
+//
+// Three ways to stand up an engine over the same generated graph
+// (CrossDomain-like, >= 1M elements = nodes + edges at the default scale):
+//
+//   BM_BuildFromScratch    graph + ontology already in memory; build the
+//                          ontology index (the no-persistence baseline).
+//   BM_LoadSnapshotV1Text  parse the text graph + ontology + index files
+//                          (core/index_io.h interchange format); the
+//                          candidate index is rebuilt and the partitions
+//                          re-validated, as the v1 loader always does.
+//   BM_LoadSnapshotV2Binary  map the binary v2 snapshot (core/snapshot.h):
+//                          hash + structural validation, zero-copy CSR
+//                          adoption, no text parsing, no rebuild.
+//
+// The v2-vs-v1 ratio is the sub-second-cold-start claim and is enforced by
+// scripts/bench_check.py (tier-1 opt-in stage, >= 10x floor):
+//
+//   bench_load [--scale N] [--reps R] [--json BENCH_load.json]
+//
+// Rows reuse the shared JSON schema; "ms_per_query" here is ms per cold
+// start.  OSQ_BENCH_SCALE grows the default workload like the other
+// harnesses.
+
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/status.h"
+#include "common/timer.h"
+#include "core/index_io.h"
+#include "core/ontology_index.h"
+#include "core/query_engine.h"
+#include "core/snapshot.h"
+#include "gen/scenarios.h"
+#include "graph/graph_io.h"
+#include "ontology/ontology_graph.h"
+
+namespace {
+
+using namespace osq;
+
+int Fail(const char* what, const Status& s) {
+  std::fprintf(stderr, "bench_load: %s: %s\n", what, s.message().c_str());
+  return 1;
+}
+
+// The v1 text loader overwrites an existing index, so a rep needs a
+// throwaway one to assign into; build it over a one-node graph so its cost
+// does not distort the measurement.
+OntologyIndex TinyIndex(const Graph& tiny_g, const OntologyGraph& tiny_o) {
+  IndexOptions tiny;
+  tiny.num_concept_graphs = 1;
+  return OntologyIndex::Build(tiny_g, tiny_o, tiny);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t scale = bench::ArgSize(argc, argv, "--scale", bench::Scaled(250000));
+  int reps = static_cast<int>(bench::ArgSize(argc, argv, "--reps", 3));
+  std::string json_path = bench::ArgValue(argc, argv, "--json", "");
+
+  namespace fs = std::filesystem;
+  fs::path dir = fs::temp_directory_path() / "osq_bench_load";
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  const std::string graph_path = (dir / "graph.txt").string();
+  const std::string ontology_path = (dir / "ontology.txt").string();
+  const std::string index_path = (dir / "index.txt").string();
+  const std::string snapshot_path = (dir / "engine.snp").string();
+
+  bench::PrintTitle("cold start: build vs text v1 vs binary v2");
+
+  // Generate, export to text, then RELOAD the text before building: label
+  // ids must come from file interning order so the index content hash the
+  // v1 cold path checks matches, exactly as the osq_cli index/query
+  // workflow produces them.
+  {
+    gen::ScenarioParams p;
+    p.scale = scale;
+    p.seed = 21;
+    gen::Dataset ds = gen::MakeCrossDomainLike(p);
+    if (Status s = SaveGraphToFile(ds.graph, ds.dict, graph_path); !s.ok()) {
+      return Fail("save graph", s);
+    }
+    if (Status s = SaveOntology(ds.ontology, ds.dict, ontology_path);
+        !s.ok()) {
+      return Fail("save ontology", s);
+    }
+  }
+  gen::Dataset ds;
+  if (Status s = LoadGraphFromFile(graph_path, &ds.dict, &ds.graph);
+      !s.ok()) {
+    return Fail("reload graph", s);
+  }
+  if (Status s = LoadOntologyFromFile(ontology_path, &ds.dict, &ds.ontology);
+      !s.ok()) {
+    return Fail("reload ontology", s);
+  }
+  const double elements =
+      static_cast<double>(ds.graph.num_nodes() + ds.graph.num_edges());
+  std::printf("   graph: %zu nodes, %zu edges (scale %zu)\n",
+              ds.graph.num_nodes(), ds.graph.num_edges(), scale);
+
+  IndexOptions idx;
+  idx.num_concept_graphs = 2;
+  QueryEngine engine(ds.graph, ds.ontology, idx);
+  if (Status s = SaveIndexToFile(engine.index(), ds.dict, index_path);
+      !s.ok()) {
+    return Fail("save index", s);
+  }
+  if (Status s = SaveEngineSnapshot(engine, ds.dict, snapshot_path);
+      !s.ok()) {
+    return Fail("save snapshot", s);
+  }
+
+  // Shared tiny fixture for the v1 assignment target (see TinyIndex).
+  Graph tiny_g;
+  OntologyGraph tiny_o;
+  {
+    LabelId l = ds.dict.Lookup("person");
+    tiny_o.AddLabel(l);
+    tiny_g.AddNode(l);
+    tiny_g.Freeze();
+  }
+
+  Status rep_status = Status::Ok();
+  double build_ms = bench::MedianMs(reps, [&] {
+    OntologyIndex rebuilt = OntologyIndex::Build(ds.graph, ds.ontology, idx);
+    if (rebuilt.num_concept_graphs() != idx.num_concept_graphs) {
+      rep_status = Status::Corruption("build produced a malformed index");
+    }
+  });
+  if (!rep_status.ok()) return Fail("build from scratch", rep_status);
+
+  // Cold start ends when the process can serve; teardown of the previous
+  // rep's engine happens outside the timed region for both formats.
+  struct V1Engine {
+    std::unique_ptr<gen::Dataset> ds;
+    std::unique_ptr<OntologyIndex> index;
+  };
+  std::vector<V1Engine> v1_keep;
+  double v1_ms = bench::MedianMs(reps, [&] {
+    V1Engine cold;
+    cold.ds = std::make_unique<gen::Dataset>();
+    if (Status s =
+            LoadGraphFromFile(graph_path, &cold.ds->dict, &cold.ds->graph);
+        !s.ok()) {
+      rep_status = s;
+      return;
+    }
+    if (Status s = LoadOntologyFromFile(ontology_path, &cold.ds->dict,
+                                        &cold.ds->ontology);
+        !s.ok()) {
+      rep_status = s;
+      return;
+    }
+    cold.index = std::make_unique<OntologyIndex>(TinyIndex(tiny_g, tiny_o));
+    if (Status s = LoadIndexFromFile(index_path, cold.ds->graph,
+                                     cold.ds->ontology, &cold.ds->dict,
+                                     cold.index.get());
+        !s.ok()) {
+      rep_status = s;
+      return;
+    }
+    v1_keep.push_back(std::move(cold));
+  });
+  v1_keep.clear();
+  if (!rep_status.ok()) return Fail("v1 text cold start", rep_status);
+
+  SnapshotLoadStats load_stats;
+  std::vector<std::unique_ptr<QueryEngine>> v2_keep;
+  double v2_ms = bench::MedianMs(reps, [&] {
+    LabelDictionary cold_dict;
+    std::unique_ptr<QueryEngine> cold;
+    if (Status s =
+            LoadEngineSnapshot(snapshot_path, &cold_dict, &cold, &load_stats);
+        !s.ok()) {
+      rep_status = s;
+      return;
+    }
+    v2_keep.push_back(std::move(cold));
+  });
+  v2_keep.clear();
+  if (!rep_status.ok()) return Fail("v2 binary cold start", rep_status);
+
+  const double v1_bytes = static_cast<double>(
+      fs::file_size(graph_path, ec) + fs::file_size(ontology_path, ec) +
+      fs::file_size(index_path, ec));
+  const double v2_bytes = static_cast<double>(load_stats.file_bytes);
+  std::printf("   BM_BuildFromScratch      %10.1f ms\n", build_ms);
+  std::printf("   BM_LoadSnapshotV1Text    %10.1f ms  (%.1f MB text)\n",
+              v1_ms, v1_bytes / 1e6);
+  std::printf("   BM_LoadSnapshotV2Binary  %10.1f ms  (%.1f MB, %s)\n", v2_ms,
+              v2_bytes / 1e6, load_stats.mapped ? "mmap" : "read");
+  std::printf("   v2 stages: hash %.1f ms, graph %.1f ms, concept graphs "
+              "%.1f ms, candidate index %.1f ms\n",
+              load_stats.hash_ms, load_stats.graph_ms,
+              load_stats.concept_graphs_ms, load_stats.candidate_index_ms);
+  std::printf("   v2 speedup: %.1fx vs v1 text, %.1fx vs rebuild\n",
+              v1_ms / v2_ms, build_ms / v2_ms);
+
+  if (!json_path.empty()) {
+    bench::JsonReport report;
+    report.Add("BM_BuildFromScratch", build_ms, 1, {{"elements", elements}});
+    report.Add("BM_LoadSnapshotV1Text", v1_ms, 1,
+               {{"elements", elements}, {"file_bytes", v1_bytes}});
+    report.Add("BM_LoadSnapshotV2Binary", v2_ms, 1,
+               {{"elements", elements}, {"file_bytes", v2_bytes}});
+    if (!report.WriteTo(json_path)) return 2;
+  }
+
+  fs::remove_all(dir, ec);
+  return 0;
+}

@@ -36,6 +36,42 @@ struct World {
   std::vector<Graph> queries;
 };
 
+// Star queries around data hubs with a repeated out-edge label.  The
+// repeated label makes the signature requirement demand out-degree >= 2 on
+// one edge label, which only the node-level count check can enforce —
+// extracted path/tree queries never fire it (every query edge is a real
+// data edge, so block aggregates alone satisfy them).  This is the shape
+// that keeps sig_node_rejections measured rather than dead.
+std::vector<Graph> MakeStarQueries(const Graph& g, size_t want) {
+  std::vector<Graph> out;
+  for (NodeId v = 0; v < g.num_nodes() && out.size() < want; ++v) {
+    Graph::AdjSpan span = g.OutEdges(v);
+    if (span.size() < 2) continue;
+    // Find a run of >= 2 equal edge labels (spans are label-sorted per
+    // target, so scan all pairs).
+    const AdjEntry* a = nullptr;
+    const AdjEntry* b = nullptr;
+    for (size_t i = 0; i < span.size() && b == nullptr; ++i) {
+      for (size_t j = i + 1; j < span.size(); ++j) {
+        if (span[i].label == span[j].label && span[i].node != span[j].node) {
+          a = &span[i];
+          b = &span[j];
+          break;
+        }
+      }
+    }
+    if (b == nullptr) continue;
+    Graph q;
+    q.AddNode(g.NodeLabel(v));
+    q.AddNode(g.NodeLabel(a->node));
+    q.AddNode(g.NodeLabel(b->node));
+    q.AddEdge(0, 1, a->label);
+    q.AddEdge(0, 2, b->label);
+    out.push_back(std::move(q));
+  }
+  return out;
+}
+
 World* MakeWorld() {
   auto* w = new World();
   gen::ScenarioParams p;
@@ -62,11 +98,32 @@ World& TheWorld() {
   return *world;
 }
 
+// Second world for the high-degree shape: the catalog scenario keeps
+// refinement blocks coarse, so star queries pass block aggregates and the
+// pruning falls to the node-level signature check.
+World* MakeStarWorld() {
+  auto* w = new World();
+  gen::ScenarioParams p;
+  p.scale = 8000;
+  p.seed = 13;
+  w->ds = gen::MakeCatalogLike(p);
+  IndexOptions idx;
+  idx.num_concept_graphs = 2;
+  w->index = std::make_unique<OntologyIndex>(
+      OntologyIndex::Build(w->ds.graph, w->ds.ontology, idx));
+  w->queries = MakeStarQueries(w->ds.graph, 8);
+  return w;
+}
+
+World& StarWorld() {
+  static World* const world = MakeStarWorld();
+  return *world;
+}
+
 // Filter-stats sums over one pass of the query set, attached as extras to
 // the BM_GviewFilter JSON row so the trajectory tracks pruning power, not
 // just wall time.
-std::vector<std::pair<std::string, double>> FilterStatExtras() {
-  World& w = TheWorld();
+std::vector<std::pair<std::string, double>> FilterStatExtras(const World& w) {
   QueryOptions options;
   options.theta = 0.85;
   options.num_threads = g_threads;
@@ -121,6 +178,26 @@ void BM_GviewFilterNoIndex(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GviewFilterNoIndex)->Unit(benchmark::kMicrosecond);
+
+// Star queries with a repeated out-edge label: the degree-demand shape
+// whose pruning runs through NodePasses (node-level signature rejection).
+void BM_GviewFilterHighDegree(benchmark::State& state) {
+  World& w = StarWorld();
+  if (w.queries.empty()) {
+    state.SkipWithError("no star queries in generated graph");
+    return;
+  }
+  QueryOptions options;
+  options.theta = 0.85;
+  options.num_threads = g_threads;
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        GviewFilter(*w.index, w.queries[i % w.queries.size()], options));
+    ++i;
+  }
+}
+BENCHMARK(BM_GviewFilterHighDegree)->Unit(benchmark::kMicrosecond);
 
 void BM_KMatchVerify(benchmark::State& state) {
   World& w = TheWorld();
@@ -211,11 +288,14 @@ class JsonCapture : public benchmark::ConsoleReporter {
 
   void ReportRuns(const std::vector<Run>& runs) override {
     for (const Run& run : runs) {
+      std::vector<std::pair<std::string, double>> extras;
+      if (run.benchmark_name() == "BM_GviewFilter") {
+        extras = FilterStatExtras(TheWorld());
+      } else if (run.benchmark_name() == "BM_GviewFilterHighDegree") {
+        extras = FilterStatExtras(StarWorld());
+      }
       report_->Add(run.benchmark_name(), run.GetAdjustedRealTime() / 1000.0,
-                   g_threads,
-                   run.benchmark_name() == "BM_GviewFilter"
-                       ? FilterStatExtras()
-                       : std::vector<std::pair<std::string, double>>{});
+                   g_threads, extras);
     }
     ConsoleReporter::ReportRuns(runs);
   }

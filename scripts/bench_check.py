@@ -13,6 +13,11 @@ Rows are keyed by (name, threads).  Two kinds of checks:
      (default 1).  This is how the candidate-index speedup claim stays
      machine-checked:
          --min-ratio BM_FilterVerifyEndToEndNoIndex,BM_FilterVerifyEndToEnd,5
+  3. Extra floors: --min-extra NAME,KEY,FLOOR[,THREADS] (repeatable)
+     requires the fresh row NAME to carry a numeric extra KEY >= FLOOR.
+     This keeps effectiveness counters alive, not just timings — e.g. the
+     node-level signature rejections of the high-degree filter shape:
+         --min-extra BM_GviewFilterHighDegree,sig_node_rejections,1
 
 Baseline rows with no counterpart in the fresh report are listed but not
 failed (the baseline aggregates several bench binaries; a single run covers
@@ -50,7 +55,7 @@ def load_rows(path):
                   file=sys.stderr)
             sys.exit(2)
         key = (row["name"], int(row.get("threads", 1)))
-        out[key] = float(row["ms_per_query"])
+        out[key] = row
     return out
 
 
@@ -70,6 +75,22 @@ def parse_min_ratio(spec):
     return parts[0], parts[1], ratio, threads
 
 
+def parse_min_extra(spec):
+    parts = spec.split(",")
+    if len(parts) not in (3, 4):
+        print(f"bench_check: bad --min-extra {spec!r} "
+              "(want NAME,KEY,FLOOR[,THREADS])", file=sys.stderr)
+        sys.exit(2)
+    threads = int(parts[3]) if len(parts) == 4 else 1
+    try:
+        floor = float(parts[2])
+    except ValueError:
+        print(f"bench_check: bad floor in --min-extra {spec!r}",
+              file=sys.stderr)
+        sys.exit(2)
+    return parts[0], parts[1], floor, threads
+
+
 def main():
     ap = argparse.ArgumentParser(
         description="Compare a fresh bench JSON against the baseline.")
@@ -83,6 +104,10 @@ def main():
                     metavar="NUM,DEN,RATIO[,THREADS]",
                     help="require ms(NUM)/ms(DEN) >= RATIO in the fresh "
                          "report (repeatable)")
+    ap.add_argument("--min-extra", action="append", default=[],
+                    metavar="NAME,KEY,FLOOR[,THREADS]",
+                    help="require the fresh row NAME to carry extra "
+                         "KEY >= FLOOR (repeatable)")
     args = ap.parse_args()
 
     fresh = load_rows(args.fresh)
@@ -90,14 +115,15 @@ def main():
 
     failures = []
     compared = 0
-    for key, fresh_ms in sorted(fresh.items()):
+    for key, row in sorted(fresh.items()):
         name, threads = key
+        fresh_ms = float(row["ms_per_query"])
         if key not in baseline:
             print(f"  new     {name} (threads={threads}): "
                   f"{fresh_ms:.6f} ms (no baseline row)")
             continue
         compared += 1
-        base_ms = baseline[key]
+        base_ms = float(baseline[key]["ms_per_query"])
         limit = base_ms * (1.0 + args.tolerance)
         verdict = "ok" if fresh_ms <= limit else "REGRESSED"
         print(f"  {verdict:<7} {name} (threads={threads}): "
@@ -110,7 +136,7 @@ def main():
                 f"{1.0 + args.tolerance:g})")
     for key in sorted(baseline.keys() - fresh.keys()):
         print(f"  skipped {key[0]} (threads={key[1]}): not in fresh report")
-    if compared == 0 and not args.min_ratio:
+    if compared == 0 and not args.min_ratio and not args.min_extra:
         print("bench_check: fresh report shares no rows with the baseline",
               file=sys.stderr)
         sys.exit(2)
@@ -124,10 +150,11 @@ def main():
                 f"min-ratio {spec}: row {missing} (threads={threads}) "
                 "missing from fresh report")
             continue
-        if fresh[den_key] <= 0.0:
+        den_ms = float(fresh[den_key]["ms_per_query"])
+        if den_ms <= 0.0:
             failures.append(f"min-ratio {spec}: denominator {den} is zero")
             continue
-        got = fresh[num_key] / fresh[den_key]
+        got = float(fresh[num_key]["ms_per_query"]) / den_ms
         verdict = "ok" if got >= ratio else "FAILED"
         print(f"  {verdict:<7} ratio {num}/{den} (threads={threads}): "
               f"{got:.2f}x (floor {ratio:g}x)")
@@ -135,6 +162,26 @@ def main():
             failures.append(
                 f"ratio {num}/{den} (threads={threads}) = {got:.2f}x "
                 f"below floor {ratio:g}x")
+
+    for spec in args.min_extra:
+        name, extra_key, floor, threads = parse_min_extra(spec)
+        row_key = (name, threads)
+        if row_key not in fresh:
+            failures.append(f"min-extra {spec}: row {name} "
+                            f"(threads={threads}) missing from fresh report")
+            continue
+        value = fresh[row_key].get(extra_key)
+        if not isinstance(value, (int, float)):
+            failures.append(f"min-extra {spec}: row {name} "
+                            f"(threads={threads}) has no numeric {extra_key}")
+            continue
+        verdict = "ok" if value >= floor else "FAILED"
+        print(f"  {verdict:<7} extra {name}.{extra_key} (threads={threads}): "
+              f"{value:g} (floor {floor:g})")
+        if value < floor:
+            failures.append(
+                f"extra {name}.{extra_key} (threads={threads}) = {value:g} "
+                f"below floor {floor:g}")
 
     if failures:
         print("bench_check: FAILED", file=sys.stderr)

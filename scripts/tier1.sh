@@ -17,8 +17,11 @@
 # - lint (scripts/lint.sh) runs osq_lint + clang-tidy-with-baseline +
 #   clang-format --check; see DESIGN.md §10.
 # - OSQ_BENCH_CHECK=1 adds an opt-in bench regression stage: one
-#   bench_micro_match run checked against BENCH_match.json by
-#   scripts/bench_check.py (including the >=5x candidate-index floor).
+#   bench_micro_match run checked against BENCH_match.json (including the
+#   >=5x candidate-index floor and a live sig_node_rejections counter) and
+#   one bench_load run checked against BENCH_load.json (including the
+#   >=10x binary-vs-text cold-start floor), both via
+#   scripts/bench_check.py.
 #
 # Usage: [OSQ_BENCH_CHECK=1] scripts/tier1.sh [extra cmake args...]
 set -euo pipefail
@@ -63,11 +66,18 @@ scripts/lint.sh build
 # including the >=5x candidate-index speedup floor.
 if [[ "${OSQ_BENCH_CHECK:-0}" == "1" ]]; then
   echo "== tier-1 (opt-in): bench regression check vs BENCH_match.json =="
-  cmake --build build -j --target bench_micro_match
+  cmake --build build -j --target bench_micro_match bench_load
   build/bench/bench_micro_match --threads 1 --json build/bench_fresh.json
   python3 scripts/bench_check.py build/bench_fresh.json \
     --baseline BENCH_match.json \
-    --min-ratio BM_FilterVerifyEndToEndNoIndex,BM_FilterVerifyEndToEnd,5
+    --min-ratio BM_FilterVerifyEndToEndNoIndex,BM_FilterVerifyEndToEnd,5 \
+    --min-extra BM_GviewFilterHighDegree,sig_node_rejections,1
+
+  echo "== tier-1 (opt-in): cold-start check vs BENCH_load.json =="
+  build/bench/bench_load --json build/bench_load_fresh.json
+  python3 scripts/bench_check.py build/bench_load_fresh.json \
+    --baseline BENCH_load.json \
+    --min-ratio BM_LoadSnapshotV1Text,BM_LoadSnapshotV2Binary,10
 fi
 
 echo "tier-1 OK"

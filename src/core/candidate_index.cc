@@ -153,6 +153,36 @@ CandidateIndex CandidateIndex::Build(const Graph& g,
   return index;
 }
 
+CandidateIndex::SnapshotParts CandidateIndex::ExportSnapshotParts() const {
+  SnapshotParts parts;
+  parts.node_sigs = node_sigs_;
+  parts.per_graph_blocks.reserve(per_graph_.size());
+  for (const PerGraph& pg : per_graph_) {
+    parts.per_graph_blocks.push_back(pg.blocks);
+  }
+  return parts;
+}
+
+CandidateIndex CandidateIndex::FromSnapshotParts(SnapshotParts parts) {
+  CandidateIndex index;
+  index.node_sigs_ = std::move(parts.node_sigs);
+  index.per_graph_.resize(parts.per_graph_blocks.size());
+  for (size_t i = 0; i < parts.per_graph_blocks.size(); ++i) {
+    PerGraph& pg = index.per_graph_[i];
+    pg.blocks = std::move(parts.per_graph_blocks[i]);
+    pg.bits.reserve(pg.blocks.size());
+    // Ascending block ids keep every inverted list sorted, matching Build.
+    for (BlockId b = 0; b < pg.blocks.size(); ++b) {
+      const BlockSignature& bs = pg.blocks[b];
+      pg.bits.emplace_back(bs.out_bits, bs.in_bits);
+      for (LabelId label : bs.member_labels) {
+        pg.blocks_by_member_label[label].push_back(b);
+      }
+    }
+  }
+  return index;
+}
+
 const std::vector<BlockId>& CandidateIndex::BlocksWithMemberLabel(
     size_t graph_index, LabelId label) const {
   static const std::vector<BlockId>* const kEmpty =

@@ -216,6 +216,18 @@ class CandidateIndex {
   friend bool operator==(const CandidateIndex&,
                          const CandidateIndex&) = default;
 
+  // --- Binary snapshot support (core/snapshot.h) --------------------------
+  // The signatures are the expensive-to-recompute state; the packed bits
+  // mirror and the member-label inverted index are canonical derivations
+  // (ascending block ids) and are rebuilt on restore, exactly as Build
+  // produces them.
+  struct SnapshotParts {
+    std::vector<NodeSignature> node_sigs;
+    std::vector<std::vector<BlockSignature>> per_graph_blocks;
+  };
+  SnapshotParts ExportSnapshotParts() const;
+  static CandidateIndex FromSnapshotParts(SnapshotParts parts);
+
  private:
   struct PerGraph {
     // Indexed by block id (dead slots hold a default signature).

@@ -208,6 +208,118 @@ ConceptGraph ConceptGraph::FromPartition(
   return cg;
 }
 
+ConceptGraph::SnapshotParts ConceptGraph::ExportSnapshotParts() const {
+  SnapshotParts parts;
+  parts.concept_labels = concept_labels_;
+  parts.members = members_;
+  parts.block_label = block_label_;
+  parts.alive.reserve(alive_.size());
+  for (bool a : alive_) parts.alive.push_back(a ? 1 : 0);
+  parts.free_blocks = free_blocks_;
+  parts.blocks_by_label.reserve(blocks_by_label_.size());
+  for (const auto& [label, blocks] : blocks_by_label_) {
+    parts.blocks_by_label.emplace_back(label, blocks);
+  }
+  std::sort(parts.blocks_by_label.begin(), parts.blocks_by_label.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  parts.concept_of_label.reserve(concept_of_label_.size());
+  for (const auto& [label, concept_label] : concept_of_label_) {
+    parts.concept_of_label.emplace_back(label, concept_label);
+  }
+  std::sort(parts.concept_of_label.begin(), parts.concept_of_label.end());
+  return parts;
+}
+
+Status ConceptGraph::FromSnapshotParts(const Graph& g, const OntologyGraph& o,
+                                       const SimilarityFunction& sim,
+                                       const ConceptGraphOptions& options,
+                                       SnapshotParts parts,
+                                       std::vector<ConceptGraph>* out) {
+  const size_t cap = parts.members.size();
+  if (parts.block_label.size() != cap || parts.alive.size() != cap) {
+    return Status::Corruption("concept graph: block table sizes disagree");
+  }
+  ConceptGraph cg;
+  cg.g_ = &g;
+  cg.o_ = &o;
+  cg.sim_ = sim;
+  cg.options_ = options;
+  cg.concept_labels_ = std::move(parts.concept_labels);
+
+  // block_of_ is derived from the member lists; the derivation doubles as
+  // the partition check (every node in exactly one live block).
+  cg.block_of_.assign(g.num_nodes(), kInvalidBlock);
+  size_t member_total = 0;
+  for (BlockId b = 0; b < cap; ++b) {
+    if (parts.alive[b] == 0) {
+      if (!parts.members[b].empty()) {
+        return Status::Corruption("concept graph: dead block has members");
+      }
+      continue;
+    }
+    if (parts.members[b].empty()) {
+      return Status::Corruption("concept graph: live block has no members");
+    }
+    for (NodeId v : parts.members[b]) {
+      if (!g.IsValidNode(v) || cg.block_of_[v] != kInvalidBlock) {
+        return Status::Corruption(
+            "concept graph: partition is not a partition of V(G)");
+      }
+      cg.block_of_[v] = b;
+    }
+    member_total += parts.members[b].size();
+    ++cg.num_alive_;
+  }
+  if (member_total != g.num_nodes()) {
+    return Status::Corruption("concept graph: partition does not cover V(G)");
+  }
+  // The free list must be exactly the dead ids (allocation order matters,
+  // so the stored order is adopted verbatim).
+  std::vector<uint8_t> freed(cap, 0);
+  for (BlockId b : parts.free_blocks) {
+    if (b >= cap || parts.alive[b] != 0 || freed[b] != 0) {
+      return Status::Corruption("concept graph: bad free list");
+    }
+    freed[b] = 1;
+  }
+  if (parts.free_blocks.size() + cg.num_alive_ != cap) {
+    return Status::Corruption("concept graph: free list incomplete");
+  }
+  // Label index: every live block exactly once, under its own label.
+  size_t indexed = 0;
+  for (const auto& [label, blocks] : parts.blocks_by_label) {
+    if (blocks.empty()) {
+      return Status::Corruption("concept graph: empty label-index entry");
+    }
+    for (BlockId b : blocks) {
+      if (b >= cap || parts.alive[b] == 0 || parts.block_label[b] != label) {
+        return Status::Corruption("concept graph: bad label-index entry");
+      }
+    }
+    indexed += blocks.size();
+  }
+  if (indexed != cg.num_alive_) {
+    return Status::Corruption("concept graph: label index incomplete");
+  }
+
+  cg.members_ = std::move(parts.members);
+  cg.block_label_ = std::move(parts.block_label);
+  cg.alive_.assign(cap, false);
+  for (BlockId b = 0; b < cap; ++b) {
+    if (parts.alive[b] != 0) cg.alive_[b] = true;
+  }
+  cg.free_blocks_ = std::move(parts.free_blocks);
+  for (auto& [label, blocks] : parts.blocks_by_label) {
+    cg.blocks_by_label_[label] = std::move(blocks);
+  }
+  for (const auto& [label, concept_label] : parts.concept_of_label) {
+    cg.concept_of_label_[label] = concept_label;
+  }
+  cg.dirty_flag_.assign(cap, false);
+  out->push_back(std::move(cg));
+  return Status::Ok();
+}
+
 BlockId ConceptGraph::BlockOf(NodeId v) const {
   OSQ_DCHECK(v < block_of_.size());
   return block_of_[v];

@@ -28,8 +28,10 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "common/status.h"
 #include "graph/graph.h"
 #include "graph/types.h"
 #include "ontology/ontology_graph.h"
@@ -87,6 +89,38 @@ class ConceptGraph {
       const Graph& g, const OntologyGraph& o, const SimilarityFunction& sim,
       const ConceptGraphOptions& options, std::vector<LabelId> concept_labels,
       const std::vector<std::pair<LabelId, std::vector<NodeId>>>& blocks);
+
+  // Complete internal state of a concept graph, as stored in a binary
+  // snapshot (core/snapshot.h).  Unlike FromPartition — which replays the
+  // concept-label BFS and re-derives the block table — a snapshot restore
+  // adopts every structure verbatim, so a graph maintained after a reload
+  // behaves identically to one that was never saved (same free-list order,
+  // same block-id allocation, same BlocksWithLabel iteration order).
+  struct SnapshotParts {
+    std::vector<LabelId> concept_labels;             // sorted unique
+    std::vector<std::vector<NodeId>> members;        // block -> member nodes
+    std::vector<LabelId> block_label;                // block -> concept label
+    std::vector<uint8_t> alive;                      // block -> liveness
+    std::vector<BlockId> free_blocks;                // dead ids, stack order
+    // concept label -> live blocks, insertion order preserved; entries
+    // sorted by label for a canonical encoding.
+    std::vector<std::pair<LabelId, std::vector<BlockId>>> blocks_by_label;
+    std::vector<std::pair<LabelId, LabelId>> concept_of_label;  // sorted
+  };
+  SnapshotParts ExportSnapshotParts() const;
+
+  // Rebuilds a concept graph from snapshot parts, skipping both the
+  // concept-assignment BFS and partition refinement.  Validates partition
+  // well-formedness (every node in exactly one live block, consistent
+  // free list / label index) and fails with Corruption on any violation;
+  // the deep invariants are covered by the snapshot's content hash.  On
+  // success the restored graph is appended to `*out` (appended, not
+  // assigned: there is deliberately no way to construct an empty
+  // ConceptGraph to assign into).
+  [[nodiscard]] static Status FromSnapshotParts(
+      const Graph& g, const OntologyGraph& o, const SimilarityFunction& sim,
+      const ConceptGraphOptions& options, SnapshotParts parts,
+      std::vector<ConceptGraph>* out);
 
   ConceptGraph(const ConceptGraph&) = default;
   ConceptGraph& operator=(const ConceptGraph&) = default;

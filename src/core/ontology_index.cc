@@ -94,6 +94,25 @@ OntologyIndex OntologyIndex::FromParts(const Graph& g, const OntologyGraph& o,
   return index;
 }
 
+OntologyIndex OntologyIndex::FromLoadedParts(const Graph& g,
+                                             const OntologyGraph& o,
+                                             const IndexOptions& options,
+                                             std::vector<ConceptGraph> graphs,
+                                             CandidateIndex candidate_index) {
+  OSQ_CHECK(!graphs.empty());
+  OntologyIndex index;
+  index.g_ = &g;
+  index.o_ = &o;
+  index.sim_ = MakeSimilarity(options);
+  index.options_ = options;
+  index.graphs_ = std::move(graphs);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    index.RegisterDataLabel(g.NodeLabel(v));
+  }
+  index.candidate_index_ = std::move(candidate_index);
+  return index;
+}
+
 void OntologyIndex::RegisterDataLabel(LabelId label) {
   if (label >= data_label_count_.size()) {
     data_label_count_.resize(label + 1, 0);

@@ -12,9 +12,22 @@ QueryEngine::QueryEngine(Graph g, OntologyGraph o,
                          const IndexOptions& options)
     : graph_(std::move(g)), ontology_(std::move(o)) {
   WallTimer timer;
+  // Compact the data graph before indexing: every query after this point
+  // reads flat CSR arrays.
+  graph_.Freeze();
   index_ = std::make_unique<OntologyIndex>(
       OntologyIndex::Build(graph_, ontology_, options, &build_stats_));
   index_build_ms_ = timer.ElapsedMillis();
+}
+
+QueryEngine QueryEngine::FromPrebuilt(Graph g, OntologyGraph o,
+                                      std::unique_ptr<OntologyIndex> index) {
+  QueryEngine engine;
+  engine.graph_ = std::move(g);
+  engine.ontology_ = std::move(o);
+  engine.index_ = std::move(index);
+  engine.index_->Rebind(&engine.graph_, &engine.ontology_);
+  return engine;
 }
 
 QueryEngine::QueryEngine(QueryEngine&& other) noexcept

@@ -61,6 +61,12 @@ class QueryEngine {
   // Takes ownership of the graphs; the index is built immediately.
   QueryEngine(Graph g, OntologyGraph o, const IndexOptions& options);
 
+  // Assembles an engine around an already-built index (the snapshot load
+  // path, core/snapshot.h).  `index` must have been built — or restored —
+  // over exactly these graphs; it is rebound to their new addresses here.
+  static QueryEngine FromPrebuilt(Graph g, OntologyGraph o,
+                                  std::unique_ptr<OntologyIndex> index);
+
   QueryEngine(const QueryEngine&) = delete;
   QueryEngine& operator=(const QueryEngine&) = delete;
   // Moves rebind the index: the graphs live by value inside the engine,
@@ -104,6 +110,8 @@ class QueryEngine {
   uint64_t version() const { return version_; }
 
  private:
+  QueryEngine() = default;  // FromPrebuilt fills the members directly
+
   // The graphs live by value; the index (heap-allocated so its own
   // address is move-stable) borrows raw pointers into them and is rebound
   // by the move operations above.  Historically the graphs sat behind

@@ -99,6 +99,7 @@ Dataset MakeCrossDomainLike(const ScenarioParams& params) {
     size_t rel = (node_domain[u] * 31 + node_domain[v] * 7) % relations.size();
     ds.graph.AddEdge(u, v, relation_ids[rel]);
   }
+  ds.graph.Freeze();
   return ds;
 }
 
@@ -176,6 +177,61 @@ Dataset MakeFlickrLike(const ScenarioParams& params) {
       if (v != u) ds.graph.AddEdge(u, v, follows);
     }
   }
+  ds.graph.Freeze();
+  return ds;
+}
+
+Dataset MakeCatalogLike(const ScenarioParams& params) {
+  Dataset ds;
+  Rng rng(params.seed);
+
+  // Category taxonomy for the hub entities; product items share a single
+  // label.  One-label products are what keeps refinement coarse: a product
+  // class can only split on the *set* of hub/store blocks it reaches, and
+  // with every product reaching the store block plus some hub blocks the
+  // fixpoint settles on a handful of large product blocks whose members
+  // differ in tagged-degree — set-based refinement cannot see counts.
+  std::vector<LabelId> category_leaves =
+      BuildTaxonomy("category", /*categories=*/3, /*leaves_per_category=*/5,
+                    &ds.dict, &ds.ontology);
+  AddCrossLinks(category_leaves, category_leaves.size() / 5, &rng,
+                &ds.ontology);
+  LabelId product_label = ds.dict.Intern("product");
+  LabelId store_label = ds.dict.Intern("store");
+  LabelId catalog = ds.dict.Intern("catalog");
+  ds.ontology.AddLabel(catalog);
+  ds.ontology.AddRelation(catalog, product_label);
+  ds.ontology.AddRelation(catalog, store_label);
+  ds.ontology.AddRelation(catalog, ds.dict.Lookup("category"));
+
+  LabelId tagged = ds.dict.Intern("tagged");
+  LabelId sold_by = ds.dict.Intern("sold_by");
+
+  // One hub node per category leaf, a handful of stores, products filling
+  // the requested scale.  Products point only at hubs and stores — no
+  // product-to-product wiring — so structurally equivalent products stay
+  // together no matter how many there are.
+  std::vector<NodeId> hub_nodes;
+  for (LabelId c : category_leaves) hub_nodes.push_back(ds.graph.AddNode(c));
+  std::vector<NodeId> store_nodes;
+  size_t num_stores = 3 + params.scale / 1000;
+  for (size_t i = 0; i < num_stores; ++i) {
+    store_nodes.push_back(ds.graph.AddNode(store_label));
+  }
+  size_t num_products = params.scale > ds.graph.num_nodes()
+                            ? params.scale - ds.graph.num_nodes()
+                            : 2;
+  for (size_t i = 0; i < num_products; ++i) {
+    NodeId p = ds.graph.AddNode(product_label);
+    size_t num_tags = 1 + rng.Index(3);
+    for (size_t t = 0; t < num_tags; ++t) {
+      // Duplicate (p, hub, tagged) picks are dropped by AddEdge, so the
+      // realized tagged-degree varies between 1 and 3.
+      ds.graph.AddEdge(p, hub_nodes[rng.Zipf(hub_nodes.size(), 0.9)], tagged);
+    }
+    ds.graph.AddEdge(p, store_nodes[rng.Index(store_nodes.size())], sold_by);
+  }
+  ds.graph.Freeze();
   return ds;
 }
 

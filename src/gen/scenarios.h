@@ -45,6 +45,15 @@ Dataset MakeCrossDomainLike(const ScenarioParams& params);
 // the ontology covers the tag and location taxonomies.
 Dataset MakeFlickrLike(const ScenarioParams& params);
 
+// Catalog-like: product entities tagging a small pool of shared category
+// hubs and pointing at a handful of stores.  The random wiring of the two
+// scenarios above makes partition refinement collapse to singleton blocks;
+// the hub/spoke symmetry here keeps blocks coarse — many products share a
+// refinement signature while their per-edge-label degrees differ — which
+// is the regime where the candidate index's node-level signature check
+// (NodePasses) prunes beyond what block aggregates can.
+Dataset MakeCatalogLike(const ScenarioParams& params);
+
 }  // namespace gen
 }  // namespace osq
 

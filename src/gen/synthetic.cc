@@ -48,6 +48,7 @@ Graph MakeRandomGraph(const SyntheticGraphParams& params,
     LabelId el = edge_labels[rng.Index(edge_labels.size())];
     g.AddEdge(u, v, el);
   }
+  g.Freeze();
   return g;
 }
 

@@ -1,6 +1,7 @@
 #include "graph/graph.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/check.h"
 
@@ -28,45 +29,76 @@ bool SortedErase(std::vector<AdjEntry>* adj, AdjEntry entry) {
   return true;
 }
 
-bool SortedContains(const std::vector<AdjEntry>& adj, AdjEntry entry) {
+bool SpanContains(Graph::AdjSpan adj, AdjEntry entry) {
   return std::binary_search(adj.begin(), adj.end(), entry);
 }
 
 }  // namespace
 
 NodeId Graph::AddNode(LabelId label) {
-  NodeId id = static_cast<NodeId>(labels_.size());
+  EnsureLabelsOwned();
+  NodeId id = static_cast<NodeId>(num_nodes_);
   labels_.push_back(label);
-  out_.emplace_back();
-  in_.emplace_back();
+  out_slot_.push_back(-1);
+  in_slot_.push_back(-1);
+  ++num_nodes_;
   return id;
 }
 
 NodeId Graph::AddNodes(size_t count, LabelId label) {
-  NodeId first = static_cast<NodeId>(labels_.size());
-  labels_.resize(labels_.size() + count, label);
-  out_.resize(labels_.size());
-  in_.resize(labels_.size());
+  EnsureLabelsOwned();
+  NodeId first = static_cast<NodeId>(num_nodes_);
+  num_nodes_ += count;
+  labels_.resize(num_nodes_, label);
+  out_slot_.resize(num_nodes_, -1);
+  in_slot_.resize(num_nodes_, -1);
   return first;
 }
 
 LabelId Graph::NodeLabel(NodeId v) const {
   OSQ_DCHECK(IsValidNode(v));
-  return labels_[v];
+  return b_labels_ != nullptr ? b_labels_[v] : labels_[v];
 }
 
 void Graph::SetNodeLabel(NodeId v, LabelId label) {
   OSQ_DCHECK(IsValidNode(v));
+  EnsureLabelsOwned();
   labels_[v] = label;
+}
+
+void Graph::EnsureLabelsOwned() {
+  if (b_labels_ == nullptr) return;
+  labels_.assign(b_labels_, b_labels_ + num_nodes_);
+  b_labels_ = nullptr;
+}
+
+std::vector<AdjEntry>* Graph::ThawOut(NodeId v) {
+  int32_t s = out_slot_[v];
+  if (s >= 0) return &dyn_out_[static_cast<size_t>(s)];
+  AdjSpan frozen = CsrSpan(v, OutOffsets(), OutEntries());
+  out_slot_[v] = static_cast<int32_t>(dyn_out_.size());
+  dyn_out_.emplace_back(frozen.begin(), frozen.end());
+  ++num_thawed_;
+  return &dyn_out_.back();
+}
+
+std::vector<AdjEntry>* Graph::ThawIn(NodeId v) {
+  int32_t s = in_slot_[v];
+  if (s >= 0) return &dyn_in_[static_cast<size_t>(s)];
+  AdjSpan frozen = CsrSpan(v, InOffsets(), InEntries());
+  in_slot_[v] = static_cast<int32_t>(dyn_in_.size());
+  dyn_in_.emplace_back(frozen.begin(), frozen.end());
+  ++num_thawed_;
+  return &dyn_in_.back();
 }
 
 bool Graph::AddEdge(NodeId from, NodeId to, LabelId label) {
   OSQ_DCHECK(IsValidNode(from));
   OSQ_DCHECK(IsValidNode(to));
-  if (!SortedInsert(&out_[from], {to, label})) {
+  if (!SortedInsert(ThawOut(from), {to, label})) {
     return false;
   }
-  bool inserted = SortedInsert(&in_[to], {from, label});
+  bool inserted = SortedInsert(ThawIn(to), {from, label});
   OSQ_DCHECK(inserted);
   (void)inserted;
   ++num_edges_;
@@ -76,12 +108,16 @@ bool Graph::AddEdge(NodeId from, NodeId to, LabelId label) {
 bool Graph::RemoveEdge(NodeId from, NodeId to, LabelId label) {
   OSQ_DCHECK(IsValidNode(from));
   OSQ_DCHECK(IsValidNode(to));
-  if (!SortedErase(&out_[from], {to, label})) {
+  // Probe before thawing: a miss must not leave `from` needlessly thawed.
+  if (!SpanContains(OutEdges(from), {to, label})) {
     return false;
   }
-  bool erased = SortedErase(&in_[to], {from, label});
-  OSQ_DCHECK(erased);
-  (void)erased;
+  bool erased_out = SortedErase(ThawOut(from), {to, label});
+  OSQ_DCHECK(erased_out);
+  (void)erased_out;
+  bool erased_in = SortedErase(ThawIn(to), {from, label});
+  OSQ_DCHECK(erased_in);
+  (void)erased_in;
   --num_edges_;
   return true;
 }
@@ -89,34 +125,23 @@ bool Graph::RemoveEdge(NodeId from, NodeId to, LabelId label) {
 bool Graph::HasEdge(NodeId from, NodeId to, LabelId label) const {
   OSQ_DCHECK(IsValidNode(from));
   OSQ_DCHECK(IsValidNode(to));
-  return SortedContains(out_[from], {to, label});
+  return SpanContains(OutEdges(from), {to, label});
 }
 
 bool Graph::HasEdgeAnyLabel(NodeId from, NodeId to) const {
   OSQ_DCHECK(IsValidNode(from));
   OSQ_DCHECK(IsValidNode(to));
-  const auto& adj = out_[from];
-  auto it = std::lower_bound(adj.begin(), adj.end(), AdjEntry{to, 0});
+  AdjSpan adj = OutEdges(from);
+  const AdjEntry* it =
+      std::lower_bound(adj.begin(), adj.end(), AdjEntry{to, 0});
   return it != adj.end() && it->node == to;
-}
-
-const std::vector<AdjEntry>& Graph::OutEdges(NodeId v) const {
-  OSQ_DCHECK(IsValidNode(v));
-  return out_[v];
-}
-
-const std::vector<AdjEntry>& Graph::InEdges(NodeId v) const {
-  OSQ_DCHECK(IsValidNode(v));
-  return in_[v];
 }
 
 std::vector<EdgeTriple> Graph::EdgeList() const {
   std::vector<EdgeTriple> edges;
   edges.reserve(num_edges_);
-  for (NodeId v = 0; v < labels_.size(); ++v) {
-    for (const AdjEntry& e : out_[v]) {
-      edges.push_back({v, e.node, e.label});
-    }
+  for (const EdgeTriple& e : Edges()) {
+    edges.push_back(e);
   }
   return edges;
 }
@@ -125,32 +150,148 @@ std::vector<LabelId> Graph::EdgeLabelsBetween(NodeId from, NodeId to) const {
   OSQ_DCHECK(IsValidNode(from));
   OSQ_DCHECK(IsValidNode(to));
   std::vector<LabelId> labels;
-  const auto& adj = out_[from];
-  auto it = std::lower_bound(adj.begin(), adj.end(), AdjEntry{to, 0});
-  for (; it != adj.end() && it->node == to; ++it) {
-    labels.push_back(it->label);
+  for (const AdjEntry& e : EdgeLabelRange(from, to)) {
+    labels.push_back(e.label);
   }
   return labels;
+}
+
+void Graph::Freeze() {
+  if (fully_frozen() && b_out_entries_ == nullptr) return;
+
+  std::vector<EdgeIndex> out_offsets(num_nodes_ + 1, 0);
+  std::vector<EdgeIndex> in_offsets(num_nodes_ + 1, 0);
+  std::vector<AdjEntry> out_entries;
+  std::vector<AdjEntry> in_entries;
+  out_entries.reserve(num_edges_);
+  in_entries.reserve(num_edges_);
+  for (NodeId v = 0; v < num_nodes_; ++v) {
+    AdjSpan out = OutEdges(v);
+    out_entries.insert(out_entries.end(), out.begin(), out.end());
+    out_offsets[v + 1] = out_entries.size();
+    AdjSpan in = InEdges(v);
+    in_entries.insert(in_entries.end(), in.begin(), in.end());
+    in_offsets[v + 1] = in_entries.size();
+  }
+  OSQ_DCHECK(out_entries.size() == num_edges_);
+  OSQ_DCHECK(in_entries.size() == num_edges_);
+
+  EnsureLabelsOwned();
+  out_offsets_ = std::move(out_offsets);
+  in_offsets_ = std::move(in_offsets);
+  out_entries_ = std::move(out_entries);
+  in_entries_ = std::move(in_entries);
+  b_out_offsets_ = nullptr;
+  b_in_offsets_ = nullptr;
+  b_out_entries_ = nullptr;
+  b_in_entries_ = nullptr;
+  anchor_.reset();
+  csr_nodes_ = num_nodes_;
+  std::fill(out_slot_.begin(), out_slot_.end(), -1);
+  std::fill(in_slot_.begin(), in_slot_.end(), -1);
+  dyn_out_.clear();
+  dyn_in_.clear();
+  num_thawed_ = 0;
+}
+
+Graph Graph::FromFrozenCsr(size_t num_nodes, size_t num_edges,
+                           const LabelId* labels,
+                           const EdgeIndex* out_offsets,
+                           const AdjEntry* out_entries,
+                           const EdgeIndex* in_offsets,
+                           const AdjEntry* in_entries,
+                           std::shared_ptr<const void> anchor) {
+  Graph g;
+  g.num_nodes_ = num_nodes;
+  g.num_edges_ = num_edges;
+  g.csr_nodes_ = num_nodes;
+  g.b_labels_ = labels;
+  g.b_out_offsets_ = out_offsets;
+  g.b_out_entries_ = out_entries;
+  g.b_in_offsets_ = in_offsets;
+  g.b_in_entries_ = in_entries;
+  g.anchor_ = std::move(anchor);
+  g.out_slot_.assign(num_nodes, -1);
+  g.in_slot_.assign(num_nodes, -1);
+  return g;
 }
 
 bool Graph::CheckConsistency() const {
   size_t out_count = 0;
   size_t in_count = 0;
-  for (NodeId v = 0; v < labels_.size(); ++v) {
-    if (!std::is_sorted(out_[v].begin(), out_[v].end())) return false;
-    if (!std::is_sorted(in_[v].begin(), in_[v].end())) return false;
-    out_count += out_[v].size();
-    in_count += in_[v].size();
-    for (const AdjEntry& e : out_[v]) {
+  if (csr_nodes_ > num_nodes_) return false;
+  const EdgeIndex* oo = OutOffsets();
+  const EdgeIndex* io = InOffsets();
+  if (csr_nodes_ > 0 && (oo[0] != 0 || io[0] != 0)) return false;
+  for (NodeId v = 0; v < csr_nodes_; ++v) {
+    if (oo[v] > oo[v + 1] || io[v] > io[v + 1]) return false;
+  }
+  for (NodeId v = 0; v < num_nodes_; ++v) {
+    AdjSpan out = OutEdges(v);
+    AdjSpan in = InEdges(v);
+    if (!std::is_sorted(out.begin(), out.end())) return false;
+    if (!std::is_sorted(in.begin(), in.end())) return false;
+    if (std::adjacent_find(out.begin(), out.end()) != out.end()) return false;
+    if (std::adjacent_find(in.begin(), in.end()) != in.end()) return false;
+    out_count += out.size();
+    in_count += in.size();
+    for (const AdjEntry& e : out) {
       if (!IsValidNode(e.node)) return false;
-      if (!SortedContains(in_[e.node], {v, e.label})) return false;
+      if (!SpanContains(InEdges(e.node), {v, e.label})) return false;
     }
-    for (const AdjEntry& e : in_[v]) {
+    for (const AdjEntry& e : in) {
       if (!IsValidNode(e.node)) return false;
-      if (!SortedContains(out_[e.node], {v, e.label})) return false;
+      if (!SpanContains(OutEdges(e.node), {v, e.label})) return false;
     }
   }
   return out_count == num_edges_ && in_count == num_edges_;
+}
+
+Graph GraphBuilder::Build() && {
+  Graph g;
+  g.num_nodes_ = labels_.size();
+  g.labels_ = std::move(labels_);
+  g.out_slot_.assign(g.num_nodes_, -1);
+  g.in_slot_.assign(g.num_nodes_, -1);
+
+  for (const EdgeTriple& e : edges_) {
+    OSQ_CHECK(e.from < g.num_nodes_ && e.to < g.num_nodes_);
+  }
+
+  // Out direction: sort by (from, to, label), dedupe, emit CSR.
+  std::sort(edges_.begin(), edges_.end());
+  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+  g.num_edges_ = edges_.size();
+
+  g.out_offsets_.assign(g.num_nodes_ + 1, 0);
+  g.out_entries_.reserve(edges_.size());
+  for (const EdgeTriple& e : edges_) {
+    ++g.out_offsets_[e.from + 1];
+    g.out_entries_.push_back({e.to, e.label});
+  }
+  for (NodeId v = 0; v < g.num_nodes_; ++v) {
+    g.out_offsets_[v + 1] += g.out_offsets_[v];
+  }
+
+  // In direction: counting sort by target preserves the (from, label)
+  // order within each target bucket because `edges_` is already sorted.
+  g.in_offsets_.assign(g.num_nodes_ + 1, 0);
+  for (const EdgeTriple& e : edges_) {
+    ++g.in_offsets_[e.to + 1];
+  }
+  for (NodeId v = 0; v < g.num_nodes_; ++v) {
+    g.in_offsets_[v + 1] += g.in_offsets_[v];
+  }
+  g.in_entries_.resize(edges_.size());
+  std::vector<EdgeIndex> cursor(g.in_offsets_.begin(),
+                                g.in_offsets_.end() - 1);
+  for (const EdgeTriple& e : edges_) {
+    g.in_entries_[cursor[e.to]++] = {e.from, e.label};
+  }
+
+  g.csr_nodes_ = g.num_nodes_;
+  edges_.clear();
+  return g;
 }
 
 }  // namespace osq

@@ -1,8 +1,10 @@
 #include "graph/graph_io.h"
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 namespace osq {
 
@@ -32,8 +34,20 @@ Status SaveGraph(const Graph& g, const LabelDictionary& dict,
     }
     *out << "v " << v << ' ' << label << '\n';
   }
+  std::vector<AdjEntry> edges;
   for (NodeId v = 0; v < g.num_nodes(); ++v) {
-    for (const AdjEntry& e : g.OutEdges(v)) {
+    // Emit per-target edges ordered by label *name*, not label id: the id
+    // order depends on dictionary interning history, so re-exporting after
+    // an import (which re-interns) would reorder parallel edges and break
+    // the byte-identical export -> import -> export round trip.
+    Graph::AdjSpan span = g.OutEdges(v);
+    edges.assign(span.begin(), span.end());
+    std::sort(edges.begin(), edges.end(),
+              [&](const AdjEntry& a, const AdjEntry& b) {
+                if (a.node != b.node) return a.node < b.node;
+                return dict.Name(a.label) < dict.Name(b.label);
+              });
+    for (const AdjEntry& e : edges) {
       const std::string& label = dict.Name(e.label);
       if (HasWhitespace(label)) {
         return Status::InvalidArgument("edge label unserializable: '" + label +
@@ -61,7 +75,9 @@ Status LoadGraph(std::istream* in, LabelDictionary* dict, Graph* g) {
   if (in == nullptr || dict == nullptr || g == nullptr) {
     return Status::InvalidArgument("null argument to LoadGraph");
   }
-  Graph result;
+  // Bulk-build: collect everything, sort once in Build().  Per-edge sorted
+  // insertion would be O(E * deg) on million-edge files.
+  GraphBuilder builder;
   std::string line;
   size_t line_no = 0;
   while (std::getline(*in, line)) {
@@ -77,11 +93,11 @@ Status LoadGraph(std::istream* in, LabelDictionary* dict, Graph* g) {
         return Status::Corruption("bad node record at line " +
                                   std::to_string(line_no));
       }
-      if (id != result.num_nodes()) {
+      if (id != builder.num_nodes()) {
         return Status::Corruption("non-dense node id at line " +
                                   std::to_string(line_no));
       }
-      result.AddNode(dict->Intern(label));
+      builder.AddNode(dict->Intern(label));
     } else if (tag == "e") {
       uint64_t src = 0;
       uint64_t dst = 0;
@@ -90,18 +106,18 @@ Status LoadGraph(std::istream* in, LabelDictionary* dict, Graph* g) {
         return Status::Corruption("bad edge record at line " +
                                   std::to_string(line_no));
       }
-      if (src >= result.num_nodes() || dst >= result.num_nodes()) {
+      if (src >= builder.num_nodes() || dst >= builder.num_nodes()) {
         return Status::Corruption("edge references unknown node at line " +
                                   std::to_string(line_no));
       }
-      result.AddEdge(static_cast<NodeId>(src), static_cast<NodeId>(dst),
-                     dict->Intern(label));
+      builder.AddEdge(static_cast<NodeId>(src), static_cast<NodeId>(dst),
+                      dict->Intern(label));
     } else {
       return Status::Corruption("unknown record '" + tag + "' at line " +
                                 std::to_string(line_no));
     }
   }
-  *g = std::move(result);
+  *g = std::move(builder).Build();
   return Status::Ok();
 }
 

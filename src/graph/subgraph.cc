@@ -30,6 +30,8 @@ Subgraph InducedSubgraph(const Graph& g, const std::vector<NodeId>& nodes) {
       }
     }
   }
+  // Verification scans the subgraph read-only; hand it back compacted.
+  sub.graph.Freeze();
   return sub;
 }
 

@@ -143,24 +143,51 @@ std::vector<LabelDistance> OntologyGraph::BallAround(
 
 Status SaveOntology(const OntologyGraph& o, const LabelDictionary& dict,
                     const std::string& path) {
-  // Reuse the graph text format: project the ontology onto a Graph whose
-  // node ids are positions in Labels() and whose edges go low id -> high id.
-  Graph g;
+  // Emit the graph text format directly, in an order derived only from the
+  // ontology's *content*: nodes sorted by label name, relations sorted by
+  // (name, name) with the lexicographically smaller endpoint first, and a
+  // fixed edge-label token (LoadOntologyFromFile ignores it).  Ordering by
+  // dictionary id — or naming edges after dictionary id 0 — would make the
+  // bytes depend on interning order, so an export -> import -> export
+  // round trip through a freshly interned dictionary would not diff clean.
   std::vector<LabelId> labels = o.Labels();
+  std::sort(labels.begin(), labels.end(), [&](LabelId a, LabelId b) {
+    return dict.Name(a) < dict.Name(b);
+  });
   std::vector<NodeId> node_of(dict.size(), kInvalidNode);
-  for (LabelId l : labels) {
-    node_of[l] = g.AddNode(l);
+  for (size_t i = 0; i < labels.size(); ++i) {
+    node_of[labels[i]] = static_cast<NodeId>(i);
   }
-  for (LabelId l : labels) {
-    for (LabelId m : o.Neighbors(l)) {
-      if (l < m) {
-        g.AddEdge(node_of[l], node_of[m], kDefaultEdgeLabel);
-      }
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  out << "# osq graph: " << labels.size() << " nodes, " << o.num_relations()
+      << " edges\n";
+  for (size_t i = 0; i < labels.size(); ++i) {
+    const std::string& name = dict.Name(labels[i]);
+    if (name.empty() || name.find_first_of(" \t\n\r") != std::string::npos) {
+      return Status::InvalidArgument("ontology label unserializable: '" +
+                                     name + "'");
+    }
+    out << "v " << i << ' ' << name << '\n';
+  }
+  for (size_t i = 0; i < labels.size(); ++i) {
+    // Neighbors() is sorted by id; re-sort the kept endpoints by name
+    // position so the edge list is canonical too.
+    std::vector<NodeId> targets;
+    for (LabelId m : o.Neighbors(labels[i])) {
+      if (node_of[m] > i) targets.push_back(node_of[m]);
+    }
+    std::sort(targets.begin(), targets.end());
+    for (NodeId j : targets) {
+      out << "e " << i << ' ' << j << " rel\n";
     }
   }
-  // kDefaultEdgeLabel is dictionary id 0 which may hold any string; that is
-  // fine — LoadOntologyFromFile ignores edge labels.
-  return SaveGraphToFile(g, dict, path);
+  if (!out.good()) {
+    return Status::IoError("write failed: " + path);
+  }
+  return Status::Ok();
 }
 
 Status LoadOntologyFromFile(const std::string& path, LabelDictionary* dict,

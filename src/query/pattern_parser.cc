@@ -208,7 +208,7 @@ std::string FormatPattern(const Graph& query, const LabelDictionary& dict) {
   };
   std::vector<bool> declared(query.num_nodes(), false);
   bool first = true;
-  for (const EdgeTriple& e : query.EdgeList()) {
+  for (const EdgeTriple& e : query.Edges()) {
     if (!first) text += ", ";
     first = false;
     text += node_ref(e.from, !declared[e.from]);

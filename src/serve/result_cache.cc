@@ -16,9 +16,9 @@ std::string QuerySignature(const Graph& query, const QueryOptions& options) {
     sig.append(buf);
   }
   sig.append("|");
-  // EdgeList() is sorted by (from, to, label), so structurally equal
+  // Edges() iterates in (from, to, label) order, so structurally equal
   // graphs serialize identically no matter the insertion order.
-  for (const EdgeTriple& e : query.EdgeList()) {
+  for (const EdgeTriple& e : query.Edges()) {
     std::snprintf(buf, sizeof(buf), "%u>%u:%u;", e.from, e.to, e.label);
     sig.append(buf);
   }

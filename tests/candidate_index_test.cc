@@ -205,6 +205,74 @@ TEST(CandidateIndexTest, FilterWithIndexIsLossless) {
   }
 }
 
+TEST(CandidateIndexTest, NodeLevelRejectionFiresOnDegreeDemand) {
+  // Refinement signatures are *set*-based (which blocks a node reaches per
+  // edge label), but NodePasses also checks per-edge-label *counts*.  Two
+  // nodes with identical refinement signatures and different out-degrees
+  // therefore share a block — and a query demanding the higher degree must
+  // reject the lower-degree member at the node level, not the block level.
+  LabelDictionary dict;
+  const LabelId person = dict.Intern("person");
+  const LabelId museum = dict.Intern("museum");
+  const LabelId cafe = dict.Intern("cafe");
+  const LabelId likes = dict.Intern("likes");
+
+  Graph g;
+  g.AddNode(person);  // 0: two likes-edges — satisfies the query demand
+  g.AddNode(person);  // 1: one likes-edge — node-level rejection target
+  g.AddNode(museum);  // 2
+  g.AddNode(museum);  // 3
+  g.AddNode(cafe);    // 4
+  g.AddEdge(0, 2, likes);
+  g.AddEdge(0, 3, likes);
+  g.AddEdge(1, 4, likes);
+
+  // museum—cafe related: with one cluster they collapse into one concept,
+  // so nodes 2/3/4 share a block and nodes 0/1 get identical refinement
+  // signatures {(venue-block, likes)}.
+  OntologyGraph o;
+  o.AddRelation(museum, cafe);
+
+  IndexOptions idx;
+  idx.num_concept_graphs = 1;
+  idx.num_clusters = 1;
+  OntologyIndex index = OntologyIndex::Build(g, o, idx);
+  const ConceptGraph& cg = index.concept_graph(0);
+  ASSERT_EQ(cg.BlockOf(0), cg.BlockOf(1))
+      << "fixture invariant: equal refinement signatures share a block";
+
+  // theta = 0.95 keeps cafe (sim 0.9) out of the museum candidate sets.
+  Graph q;
+  q.AddNode(person);
+  q.AddNode(museum);
+  q.AddNode(museum);
+  q.AddEdge(0, 1, likes);
+  q.AddEdge(0, 2, likes);
+
+  QueryOptions on;
+  on.theta = 0.95;
+  on.k = 0;
+  FilterResult r_on = GviewFilter(index, q, on);
+  ASSERT_FALSE(r_on.no_match);
+  EXPECT_GT(r_on.stats.sig_node_rejections, 0u);
+
+  // The rejection is a pure short-circuit: results match the index-off run.
+  QueryOptions off = on;
+  off.use_candidate_index = false;
+  FilterResult r_off = GviewFilter(index, q, off);
+  ASSERT_FALSE(r_off.no_match);
+  for (NodeId u = 0; u < q.num_nodes(); ++u) {
+    EXPECT_EQ(CandidateOriginals(r_on, u), CandidateOriginals(r_off, u));
+  }
+  std::vector<Match> m_on = KMatch(q, r_on, on);
+  std::vector<Match> m_off = KMatch(q, r_off, off);
+  ASSERT_EQ(m_on.size(), m_off.size());
+  ASSERT_FALSE(m_on.empty());
+  for (size_t m = 0; m < m_on.size(); ++m) {
+    EXPECT_EQ(m_on[m].mapping, m_off[m].mapping);
+  }
+}
+
 TEST(CandidateIndexTest, MaintainedIndexEqualsRebuild) {
   std::unique_ptr<SmallWorld> w = MakeSmallWorld(29);
   Graph& g = w->ds.graph;

@@ -1,8 +1,12 @@
 #include "graph/graph_io.h"
 
+#include <fstream>
 #include <sstream>
+#include <string>
 
 #include <gtest/gtest.h>
+#include "gen/scenarios.h"
+#include "ontology/ontology_graph.h"
 
 namespace osq {
 namespace {
@@ -144,6 +148,62 @@ TEST(GraphIoTest, SharedDictionaryAlignsLabelIds) {
   ASSERT_TRUE(LoadGraph(&ss, &dict, &g2).ok());
   EXPECT_EQ(g2.NodeLabel(0), g.NodeLabel(0));
   EXPECT_EQ(g2.NodeLabel(1), g.NodeLabel(1));
+}
+
+std::string ReadWholeFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+TEST(GraphIoTest, ExportImportExportIsByteIdentical) {
+  // The dictionary built by generation interns labels in a different order
+  // than the dictionary built by importing the files (graph labels first,
+  // then ontology labels).  The exported bytes must not depend on that
+  // interning order: save -> load -> save has to diff clean.
+  gen::ScenarioParams p;
+  p.scale = 300;
+  gen::Dataset ds = gen::MakeCrossDomainLike(p);
+
+  const std::string g1 = testing::TempDir() + "/osq_rt1.graph";
+  const std::string o1 = testing::TempDir() + "/osq_rt1.ontology";
+  ASSERT_TRUE(SaveGraphToFile(ds.graph, ds.dict, g1).ok());
+  ASSERT_TRUE(SaveOntology(ds.ontology, ds.dict, o1).ok());
+
+  gen::Dataset imported;
+  ASSERT_TRUE(LoadGraphFromFile(g1, &imported.dict, &imported.graph).ok());
+  ASSERT_TRUE(
+      LoadOntologyFromFile(o1, &imported.dict, &imported.ontology).ok());
+
+  const std::string g2 = testing::TempDir() + "/osq_rt2.graph";
+  const std::string o2 = testing::TempDir() + "/osq_rt2.ontology";
+  ASSERT_TRUE(SaveGraphToFile(imported.graph, imported.dict, g2).ok());
+  ASSERT_TRUE(SaveOntology(imported.ontology, imported.dict, o2).ok());
+
+  EXPECT_EQ(ReadWholeFile(g1), ReadWholeFile(g2));
+  EXPECT_EQ(ReadWholeFile(o1), ReadWholeFile(o2));
+}
+
+TEST(GraphIoTest, OntologyExportIsDictionaryOrderIndependent) {
+  // Same ontology content reached through two interning orders must
+  // serialize to the same bytes.
+  LabelDictionary d1;
+  OntologyGraph oa;
+  oa.AddRelation(d1.Intern("museum"), d1.Intern("gallery"));
+  oa.AddRelation(d1.Intern("gallery"), d1.Intern("park"));
+
+  LabelDictionary d2;
+  d2.Intern("zzz");  // shift every id
+  OntologyGraph ob;
+  ob.AddRelation(d2.Intern("park"), d2.Intern("gallery"));
+  ob.AddRelation(d2.Intern("gallery"), d2.Intern("museum"));
+
+  const std::string pa = testing::TempDir() + "/osq_onto_a.ontology";
+  const std::string pb = testing::TempDir() + "/osq_onto_b.ontology";
+  ASSERT_TRUE(SaveOntology(oa, d1, pa).ok());
+  ASSERT_TRUE(SaveOntology(ob, d2, pb).ok());
+  EXPECT_EQ(ReadWholeFile(pa), ReadWholeFile(pb));
 }
 
 }  // namespace

@@ -1,0 +1,34 @@
+// Lint fixture: adjacency traversal through the public Graph API, plus
+// near-miss identifiers (timeout_, margin_, fan_out) that the
+// osq-graph-adjacency rule must not flag.
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace osq {
+namespace fixture {
+
+inline size_t Fanout(const Graph& g, NodeId v) {
+  size_t n = 0;
+  for (const AdjEntry& e : g.OutEdges(v)) {
+    (void)e;
+    ++n;
+  }
+  return n + g.InEdges(v).size();
+}
+
+struct Schedule {
+  std::vector<int> timeout_;  // contains "out_" but is not adjacency storage
+  std::vector<int> margin_;   // contains "in_" likewise
+
+  int At(size_t i) const { return timeout_[i] + margin_[i]; }
+};
+
+inline int FanOutTable(const std::vector<int>& fan_out, size_t i) {
+  return fan_out[i];  // no trailing underscore: plain local data
+}
+
+}  // namespace fixture
+}  // namespace osq

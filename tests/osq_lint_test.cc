@@ -81,6 +81,18 @@ TEST(OsqLintFixtureTest, CleanDeterminism) {
   EXPECT_TRUE(LintFixture("clean_determinism.cc").empty());
 }
 
+TEST(OsqLintFixtureTest, BadGraphAdjacency) {
+  std::vector<Violation> vs = LintFixture("bad_graph_adjacency.cc");
+  // 2 mirrored CSR declarations + 4 CSR subscript uses + 2 legacy out_[v]/
+  // in_[v] subscripts.
+  EXPECT_EQ(CountRule(vs, "osq-graph-adjacency"), 8u);
+  EXPECT_EQ(vs.size(), 8u);
+}
+
+TEST(OsqLintFixtureTest, CleanGraphAdjacency) {
+  EXPECT_TRUE(LintFixture("clean_graph_adjacency.cc").empty());
+}
+
 TEST(OsqLintFixtureTest, UnjustifiedSuppressionStillFails) {
   std::vector<Violation> vs = LintFixture("bad_nolint_unjustified.cc");
   EXPECT_EQ(CountRule(vs, "osq-no-stdout"), 2u);
@@ -104,6 +116,14 @@ TEST(OsqLintClassifyTest, RngExemption) {
   EXPECT_TRUE(ClassifyPath("src/common/rng.h").rng_exempt);
   EXPECT_TRUE(ClassifyPath("src/common/rng.cc").rng_exempt);
   EXPECT_FALSE(ClassifyPath("src/gen/synthetic.cc").rng_exempt);
+}
+
+TEST(OsqLintClassifyTest, GraphCoreExemption) {
+  EXPECT_TRUE(ClassifyPath("src/graph/graph.h").graph_core);
+  EXPECT_TRUE(ClassifyPath("src/graph/graph.cc").graph_core);
+  EXPECT_FALSE(ClassifyPath("src/graph/graph_io.cc").graph_core);
+  EXPECT_FALSE(ClassifyPath("src/graph/graph_algorithms.cc").graph_core);
+  EXPECT_FALSE(ClassifyPath("src/core/filtering.cc").graph_core);
 }
 
 // --- inline content edge cases -------------------------------------------
@@ -159,6 +179,15 @@ TEST(OsqLintContentTest, RawLockThroughPointerAlwaysFlagged) {
   std::vector<Violation> vs = LintSnippet(
       "src/x.cc", "void f(std::mutex* m) { m->lock(); m->unlock(); }\n");
   EXPECT_EQ(CountRule(vs, "osq-raw-lock"), 2u);
+}
+
+TEST(OsqLintContentTest, GraphCoreMayTouchItsOwnArrays) {
+  const std::string code =
+      "size_t Graph::OutDegree(NodeId v) const {\n"
+      "  return out_offsets_[v + 1] - out_offsets_[v];\n"
+      "}\n";
+  EXPECT_TRUE(LintSnippet("src/graph/graph.cc", code).empty());
+  EXPECT_EQ(LintSnippet("src/core/filtering.cc", code).size(), 2u);
 }
 
 TEST(OsqLintContentTest, HeaderRuleSkipsSourceFiles) {

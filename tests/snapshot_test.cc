@@ -1,0 +1,252 @@
+#include "core/snapshot.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+#include "common/rng.h"
+#include "core/index_maintenance.h"
+#include "core/query_engine.h"
+#include "gen/query_gen.h"
+#include "gen/scenarios.h"
+#include "test_util.h"
+
+namespace osq {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+// Builds the travel engine and its dictionary (copies of the fixture's
+// graphs so the fixture stays usable for queries).
+QueryEngine MakeTravelEngine(test::TravelFixture* f) {
+  IndexOptions options;
+  options.num_concept_graphs = 2;
+  return QueryEngine(f->g, f->o, options);
+}
+
+// Two graphs describe the same data graph: same nodes, labels, and exact
+// adjacency (CSR spans compare element-wise).
+void ExpectSameGraph(const Graph& a, const Graph& b) {
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (NodeId v = 0; v < a.num_nodes(); ++v) {
+    EXPECT_EQ(a.NodeLabel(v), b.NodeLabel(v));
+    Graph::AdjSpan oa = a.OutEdges(v);
+    Graph::AdjSpan ob = b.OutEdges(v);
+    ASSERT_EQ(oa.size(), ob.size());
+    for (size_t i = 0; i < oa.size(); ++i) EXPECT_EQ(oa[i], ob[i]);
+    Graph::AdjSpan ia = a.InEdges(v);
+    Graph::AdjSpan ib = b.InEdges(v);
+    ASSERT_EQ(ia.size(), ib.size());
+    for (size_t i = 0; i < ia.size(); ++i) EXPECT_EQ(ia[i], ib[i]);
+  }
+}
+
+// The loaded index must be *verbatim* the saved one — not merely the same
+// partition up to block renaming, but identical block ids, labels, and
+// candidate signatures (the snapshot adopts state, it does not rebuild).
+void ExpectSameIndex(const OntologyIndex& a, const OntologyIndex& b,
+                     const Graph& g) {
+  ASSERT_EQ(a.num_concept_graphs(), b.num_concept_graphs());
+  EXPECT_EQ(a.TotalSize(), b.TotalSize());
+  for (size_t i = 0; i < a.num_concept_graphs(); ++i) {
+    const ConceptGraph& ca = a.concept_graph(i);
+    const ConceptGraph& cb = b.concept_graph(i);
+    EXPECT_EQ(ca.concept_labels(), cb.concept_labels());
+    ASSERT_EQ(ca.block_capacity(), cb.block_capacity());
+    EXPECT_EQ(ca.num_blocks(), cb.num_blocks());
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      EXPECT_EQ(ca.BlockOf(v), cb.BlockOf(v));
+    }
+    for (BlockId blk = 0; blk < ca.block_capacity(); ++blk) {
+      ASSERT_EQ(ca.IsAlive(blk), cb.IsAlive(blk));
+      if (!ca.IsAlive(blk)) continue;
+      EXPECT_EQ(ca.BlockLabel(blk), cb.BlockLabel(blk));
+      EXPECT_EQ(ca.Members(blk), cb.Members(blk));
+    }
+  }
+  EXPECT_TRUE(a.candidate_index() == b.candidate_index());
+}
+
+TEST(SnapshotTest, RoundTripPreservesEverything) {
+  test::TravelFixture f = test::MakeTravelFixture();
+  QueryEngine engine = MakeTravelEngine(&f);
+
+  const std::string path = TempPath("osq_snapshot_roundtrip.snp");
+  ASSERT_TRUE(SaveEngineSnapshot(engine, f.dict, path).ok());
+
+  LabelDictionary dict;
+  std::unique_ptr<QueryEngine> loaded;
+  SnapshotLoadStats stats;
+  Status s = LoadEngineSnapshot(path, &dict, &loaded, &stats);
+  ASSERT_TRUE(s.ok()) << s.message();
+  EXPECT_GT(stats.file_bytes, 0u);
+
+  // Dictionary restored name-for-name, id-for-id.
+  ASSERT_EQ(dict.size(), f.dict.size());
+  for (LabelId id = 0; id < dict.size(); ++id) {
+    EXPECT_EQ(dict.Name(id), f.dict.Name(id));
+  }
+
+  ExpectSameGraph(engine.graph(), loaded->graph());
+  EXPECT_TRUE(loaded->graph().is_snapshot_backed());
+  EXPECT_TRUE(loaded->graph().CheckConsistency());
+  ASSERT_TRUE(loaded->index().Validate());
+  ExpectSameIndex(engine.index(), loaded->index(), engine.graph());
+  EXPECT_EQ(loaded->index().options().num_concept_graphs,
+            engine.index().options().num_concept_graphs);
+}
+
+TEST(SnapshotTest, LoadedEngineAnswersQueriesIdentically) {
+  test::TravelFixture f = test::MakeTravelFixture();
+  QueryEngine engine = MakeTravelEngine(&f);
+  const std::string path = TempPath("osq_snapshot_queries.snp");
+  ASSERT_TRUE(SaveEngineSnapshot(engine, f.dict, path).ok());
+
+  LabelDictionary dict;
+  std::unique_ptr<QueryEngine> loaded;
+  ASSERT_TRUE(LoadEngineSnapshot(path, &dict, &loaded).ok());
+
+  QueryOptions qopts;
+  qopts.theta = 0.81;
+  qopts.k = 0;
+  QueryResult ra = engine.Query(f.query, qopts);
+  QueryResult rb = loaded->Query(f.query, qopts);
+  ASSERT_TRUE(ra.status.ok());
+  ASSERT_TRUE(rb.status.ok());
+  EXPECT_EQ(ra.matches, rb.matches);
+  EXPECT_FALSE(ra.matches.empty());
+}
+
+TEST(SnapshotTest, MaintenanceAfterLoadMatchesNeverSaved) {
+  // The differential that justifies storing ConceptGraph state verbatim:
+  // the same update stream applied to a reloaded engine and to one that
+  // was never saved must produce identical indexes and identical answers.
+  test::TravelFixture f = test::MakeTravelFixture();
+  QueryEngine engine = MakeTravelEngine(&f);
+  const std::string path = TempPath("osq_snapshot_maintenance.snp");
+  ASSERT_TRUE(SaveEngineSnapshot(engine, f.dict, path).ok());
+
+  LabelDictionary dict;
+  std::unique_ptr<QueryEngine> loaded;
+  ASSERT_TRUE(LoadEngineSnapshot(path, &dict, &loaded).ok());
+
+  std::vector<GraphUpdate> updates = {
+      GraphUpdate::Insert(f.rp, f.starlight, f.near),
+      GraphUpdate::Delete(f.ct, f.starlight, f.fav),
+      GraphUpdate::Insert(f.ht, f.rg, f.guide),
+      GraphUpdate::Insert(f.ct, f.starlight, f.fav),
+  };
+  MaintenanceStats sa = engine.ApplyUpdates(updates);
+  MaintenanceStats sb = loaded->ApplyUpdates(updates);
+  EXPECT_EQ(sa.applied, sb.applied);
+  EXPECT_EQ(sa.skipped, sb.skipped);
+
+  ASSERT_TRUE(loaded->index().Validate());
+  ExpectSameGraph(engine.graph(), loaded->graph());
+  ExpectSameIndex(engine.index(), loaded->index(), engine.graph());
+
+  QueryOptions qopts;
+  qopts.theta = 0.81;
+  qopts.k = 0;
+  QueryResult ra = engine.Query(f.query, qopts);
+  QueryResult rb = loaded->Query(f.query, qopts);
+  EXPECT_EQ(ra.matches, rb.matches);
+}
+
+TEST(SnapshotTest, RoundTripOnGeneratedDataset) {
+  gen::ScenarioParams p;
+  p.scale = 400;
+  gen::Dataset ds = gen::MakeCrossDomainLike(p);
+  IndexOptions options;
+  options.num_concept_graphs = 2;
+  options.edge_label_aware = true;
+  options.similarity_model = SimilarityModel::kLinear;
+  options.similarity_cutoff = 3;
+  QueryEngine engine(ds.graph, ds.ontology, options);
+
+  const std::string path = TempPath("osq_snapshot_generated.snp");
+  ASSERT_TRUE(SaveEngineSnapshot(engine, ds.dict, path).ok());
+
+  LabelDictionary dict;
+  std::unique_ptr<QueryEngine> loaded;
+  SnapshotLoadStats stats;
+  ASSERT_TRUE(LoadEngineSnapshot(path, &dict, &loaded, &stats).ok());
+  ASSERT_TRUE(loaded->index().Validate());
+  EXPECT_TRUE(loaded->index().options().edge_label_aware);
+  EXPECT_EQ(loaded->index().options().similarity_model,
+            SimilarityModel::kLinear);
+  ExpectSameGraph(engine.graph(), loaded->graph());
+  ExpectSameIndex(engine.index(), loaded->index(), engine.graph());
+
+  gen::QueryGenParams qp;
+  Rng rng(7);
+  QueryOptions qopts;
+  qopts.theta = 0.8;
+  for (int i = 0; i < 4; ++i) {
+    Graph q = gen::ExtractQuery(ds.graph, ds.ontology, qp, &rng);
+    if (q.num_nodes() == 0) continue;
+    QueryResult ra = engine.Query(q, qopts);
+    QueryResult rb = loaded->Query(q, qopts);
+    EXPECT_EQ(ra.status.ok(), rb.status.ok());
+    EXPECT_EQ(ra.matches, rb.matches);
+  }
+}
+
+TEST(SnapshotTest, EngineMoveAfterLoadKeepsAnswering) {
+  // The loaded graph borrows the mapped file; moving the engine must move
+  // the anchor along and rebind the index (regression guard for the
+  // zero-copy pointer fixup).
+  test::TravelFixture f = test::MakeTravelFixture();
+  QueryEngine engine = MakeTravelEngine(&f);
+  const std::string path = TempPath("osq_snapshot_move.snp");
+  ASSERT_TRUE(SaveEngineSnapshot(engine, f.dict, path).ok());
+
+  LabelDictionary dict;
+  std::unique_ptr<QueryEngine> loaded;
+  ASSERT_TRUE(LoadEngineSnapshot(path, &dict, &loaded).ok());
+  QueryEngine moved = std::move(*loaded);
+  loaded.reset();  // destroy the shell the engine was loaded into
+
+  QueryOptions qopts;
+  qopts.theta = 0.81;
+  QueryResult ra = engine.Query(f.query, qopts);
+  QueryResult rb = moved.Query(f.query, qopts);
+  EXPECT_EQ(ra.matches, rb.matches);
+}
+
+TEST(SnapshotTest, PrePopulatedDictionaryMustAgree) {
+  test::TravelFixture f = test::MakeTravelFixture();
+  QueryEngine engine = MakeTravelEngine(&f);
+  const std::string path = TempPath("osq_snapshot_dict.snp");
+  ASSERT_TRUE(SaveEngineSnapshot(engine, f.dict, path).ok());
+
+  // A dictionary whose id 0 is already taken by a different name cannot
+  // adopt the snapshot's dictionary.
+  LabelDictionary conflicting;
+  conflicting.Intern("zzz_not_in_snapshot");
+  std::unique_ptr<QueryEngine> loaded;
+  EXPECT_EQ(LoadEngineSnapshot(path, &conflicting, &loaded).code(),
+            StatusCode::kInvalidArgument);
+
+  // An exact prefix copy agrees and loads fine.
+  LabelDictionary agreeing;
+  for (LabelId id = 0; id < f.dict.size(); ++id) {
+    agreeing.Intern(f.dict.Name(id));
+  }
+  EXPECT_TRUE(LoadEngineSnapshot(path, &agreeing, &loaded).ok());
+}
+
+TEST(SnapshotTest, MissingFileIsIoError) {
+  LabelDictionary dict;
+  std::unique_ptr<QueryEngine> loaded;
+  EXPECT_EQ(LoadEngineSnapshot("/nonexistent/engine.snp", &dict, &loaded)
+                .code(),
+            StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace osq

@@ -4,14 +4,21 @@
 //           --graph g.txt --ontology o.txt
 //   osq_cli index    --graph g.txt --ontology o.txt --out idx.txt
 //           [--beta 0.81] [--n 2] [--seed 42] [--threads N]
+//   osq_cli snapshot --graph g.txt --ontology o.txt --out engine.snp
+//           [index flags]          (build engine, save binary v2 snapshot)
 //   osq_cli query    --graph g.txt --ontology o.txt
 //           --pattern '(t:tourists)-[guide]->(m:museum)'
 //           [--index idx.txt] [--theta 0.9] [--k 10] [--explain]
 //           [--semantics induced|homomorphic] [--threads N]
 //           [--deadline-ms 0]
+//   osq_cli query    --snapshot engine.snp --pattern ...
+//           (cold start from the binary snapshot; no text parsing,
+//            no index build)
 //   osq_cli bench    --graph g.txt --ontology o.txt --queries q.txt
 //           [--theta 0.9] [--k 10] [--reps 3] [--threads N]
 //   osq_cli serve-bench --graph g.txt --ontology o.txt --queries q.txt
+//           [--snapshot engine.snp]   (start from the binary snapshot
+//            instead of building the index)
 //           [--theta 0.9] [--k 10] [--threads 4] [--requests 200]
 //           [--cache 256] [--update-interval-ms 0] [--deadline-ms 0]
 //           [--max-inflight 0]
@@ -35,6 +42,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <map>
+#include <memory>
+#include <optional>
 #include <string>
 #include <thread>
 #include <utility>
@@ -45,6 +54,7 @@
 #include "core/explain.h"
 #include "core/index_io.h"
 #include "core/query_engine.h"
+#include "core/snapshot.h"
 #include "gen/scenarios.h"
 #include "gen/synthetic.h"
 #include "graph/graph_algorithms.h"
@@ -104,7 +114,8 @@ int Fail(const Status& status) {
 int Usage() {
   std::fprintf(stderr,
                "usage: osq_cli "
-               "<generate|index|query|bench|serve-bench|stats> [--flags]\n"
+               "<generate|index|snapshot|query|bench|serve-bench|stats> "
+               "[--flags]\n"
                "see the header of tools/osq_cli.cc for details\n");
   return 1;
 }
@@ -202,16 +213,73 @@ int CmdIndex(const FlagMap& flags) {
   return 0;
 }
 
-int CmdQuery(const FlagMap& flags) {
+int CmdSnapshot(const FlagMap& flags) {
   gen::Dataset ds;
   if (int rc = LoadDataset(flags, &ds); rc != 0) return rc;
+  std::string out_path = GetFlag(flags, "out", "");
+  if (out_path.empty()) {
+    std::fprintf(stderr, "snapshot needs --out path\n");
+    return 1;
+  }
+  IndexOptions idx = IndexOptionsFromFlags(flags);
+  WallTimer timer;
+  QueryEngine engine(std::move(ds.graph), std::move(ds.ontology), idx);
+  double build_ms = timer.ElapsedMillis();
+  Status s = SaveEngineSnapshot(engine, ds.dict, out_path);
+  if (!s.ok()) return Fail(s);
+  std::printf("built engine in %.1f ms (%zu concept graphs, |I|=%zu); "
+              "wrote %s\n",
+              build_ms, engine.index().num_concept_graphs(),
+              engine.index().TotalSize(), out_path.c_str());
+  return 0;
+}
+
+int CmdQuery(const FlagMap& flags) {
   std::string pattern = GetFlag(flags, "pattern", "");
   if (pattern.empty()) {
     std::fprintf(stderr, "query needs --pattern '(a:label)-[rel]->(b:label)'\n");
     return 1;
   }
+
+  // Data + index come either from a binary snapshot (the cold-start path:
+  // mmap, validate, serve — no text parsing, no index build) or from text
+  // files with the index built here (optionally overlaid from a v1 file).
+  gen::Dataset ds;
+  std::unique_ptr<QueryEngine> snapshot_engine;
+  std::optional<OntologyIndex> built;
+  LabelDictionary* dict = nullptr;
+  const Graph* graph = nullptr;
+  const OntologyIndex* index = nullptr;
+  std::string snapshot_path = GetFlag(flags, "snapshot", "");
+  if (!snapshot_path.empty()) {
+    SnapshotLoadStats load_stats;
+    WallTimer load_timer;
+    Status s = LoadEngineSnapshot(snapshot_path, &ds.dict, &snapshot_engine,
+                                  &load_stats);
+    if (!s.ok()) return Fail(s);
+    std::printf("loaded snapshot in %.1f ms (%zu bytes, %s)\n",
+                load_timer.ElapsedMillis(), load_stats.file_bytes,
+                load_stats.mapped ? "mmap" : "read");
+    dict = &ds.dict;
+    graph = &snapshot_engine->graph();
+    index = &snapshot_engine->index();
+  } else {
+    if (int rc = LoadDataset(flags, &ds); rc != 0) return rc;
+    IndexOptions idx = IndexOptionsFromFlags(flags);
+    built.emplace(OntologyIndex::Build(ds.graph, ds.ontology, idx));
+    std::string index_path = GetFlag(flags, "index", "");
+    if (!index_path.empty()) {
+      Status s = LoadIndexFromFile(index_path, ds.graph, ds.ontology,
+                                   &ds.dict, &*built);
+      if (!s.ok()) return Fail(s);
+    }
+    dict = &ds.dict;
+    graph = &ds.graph;
+    index = &*built;
+  }
+
   ParsedPattern parsed;
-  Status s = ParsePattern(pattern, &ds.dict, &parsed);
+  Status s = ParsePattern(pattern, dict, &parsed);
   if (!s.ok()) return Fail(s);
 
   QueryOptions options;
@@ -227,19 +295,9 @@ int CmdQuery(const FlagMap& flags) {
     return 1;
   }
 
-  // Build or load the index, then query.
-  IndexOptions idx = IndexOptionsFromFlags(flags);
-  std::string index_path = GetFlag(flags, "index", "");
-  OntologyIndex index = OntologyIndex::Build(ds.graph, ds.ontology, idx);
-  if (!index_path.empty()) {
-    s = LoadIndexFromFile(index_path, ds.graph, ds.ontology, &ds.dict,
-                          &index);
-    if (!s.ok()) return Fail(s);
-  }
-
   if (GetFlag(flags, "explain", "0") == "1") {
     std::fputs(
-        ExplainQuery(index, parsed.query, options, ds.dict).c_str(),
+        ExplainQuery(*index, parsed.query, options, *dict).c_str(),
         stdout);
     return 0;
   }
@@ -248,7 +306,7 @@ int CmdQuery(const FlagMap& flags) {
   ExecControl exec;
   exec.deadline = Deadline::AfterMillis(options.deadline_ms);
   KMatchStats kstats;
-  FilterResult filter = GviewFilter(index, parsed.query, options, &exec);
+  FilterResult filter = GviewFilter(*index, parsed.query, options, &exec);
   std::vector<Match> matches = KMatch(parsed.query, filter, options, &kstats,
                                       &exec);
   double ms = timer.ElapsedMillis();
@@ -270,7 +328,7 @@ int CmdQuery(const FlagMap& flags) {
     std::printf("  score %.4f: ", m.score);
     for (NodeId u = 0; u < parsed.query.num_nodes(); ++u) {
       std::printf(" %s=%s(v%u)", names[u].c_str(),
-                  ds.dict.Name(ds.graph.NodeLabel(m.mapping[u])).c_str(),
+                  dict->Name(graph->NodeLabel(m.mapping[u])).c_str(),
                   m.mapping[u]);
     }
     std::printf("\n");
@@ -334,8 +392,24 @@ int CmdBench(const FlagMap& flags) {
 }
 
 int CmdServeBench(const FlagMap& flags) {
+  // The service starts either from a binary snapshot (sub-second cold
+  // start) or by loading text files and building the index here.
   gen::Dataset ds;
-  if (int rc = LoadDataset(flags, &ds); rc != 0) return rc;
+  std::optional<QueryEngine> engine;
+  WallTimer startup_timer;
+  std::string snapshot_path = GetFlag(flags, "snapshot", "");
+  if (!snapshot_path.empty()) {
+    std::unique_ptr<QueryEngine> loaded;
+    Status s = LoadEngineSnapshot(snapshot_path, &ds.dict, &loaded);
+    if (!s.ok()) return Fail(s);
+    engine.emplace(std::move(*loaded));
+  } else {
+    if (int rc = LoadDataset(flags, &ds); rc != 0) return rc;
+    engine.emplace(std::move(ds.graph), std::move(ds.ontology),
+                   IndexOptionsFromFlags(flags));
+  }
+  double startup_ms = startup_timer.ElapsedMillis();
+
   std::string queries_path = GetFlag(flags, "queries", "");
   if (queries_path.empty()) {
     std::fprintf(stderr, "serve-bench needs --queries <patterns file>\n");
@@ -362,17 +436,15 @@ int CmdServeBench(const FlagMap& flags) {
   serve.default_deadline_ms = GetDouble(flags, "deadline-ms", 0.0);
   serve.max_inflight = GetSize(flags, "max-inflight", 0);
 
-  // The engine owns its graph/ontology; keep an edge to toggle first.
-  std::vector<EdgeTriple> edges = ds.graph.EdgeList();
-  WallTimer build_timer;
-  QueryService service(
-      QueryEngine(std::move(ds.graph), std::move(ds.ontology),
-                  IndexOptionsFromFlags(flags)),
-      serve);
-  std::printf("index built in %.1f ms; serving %zu patterns on %zu "
+  // The engine owns its graph; keep an edge to toggle before handing it
+  // to the service.
+  std::vector<EdgeTriple> edges = engine->graph().EdgeList();
+  QueryService service(std::move(*engine), serve);
+  std::printf("engine %s in %.1f ms; serving %zu patterns on %zu "
               "client threads (%zu requests each, cache %zu)\n",
-              build_timer.ElapsedMillis(), patterns.size(), threads,
-              requests, serve.cache_capacity);
+              snapshot_path.empty() ? "built" : "loaded from snapshot",
+              startup_ms, patterns.size(), threads, requests,
+              serve.cache_capacity);
 
   std::atomic<bool> stop{false};
   std::thread writer;
@@ -454,6 +526,7 @@ int main(int argc, char** argv) {
   if (!ParseFlags(argc, argv, 2, &flags)) return 1;
   if (command == "generate") return CmdGenerate(flags);
   if (command == "index") return CmdIndex(flags);
+  if (command == "snapshot") return CmdSnapshot(flags);
   if (command == "query") return CmdQuery(flags);
   if (command == "bench") return CmdBench(flags);
   if (command == "serve-bench") return CmdServeBench(flags);

@@ -23,6 +23,14 @@
 //                          `system_clock` in library code: all randomness
 //                          flows through the seeded Rng, all clocks through
 //                          timer.h/deadline.h (steady), so runs replay.
+//   osq-graph-adjacency    The CSR adjacency arrays (out_offsets_,
+//                          out_entries_, in_offsets_, in_entries_, the slot
+//                          maps and thaw overlays) are private to Graph, and
+//                          legacy `out_[v]` / `in_[v]` subscripts are gone;
+//                          everything outside graph/graph.{h,cc} must go
+//                          through OutEdges()/InEdges()/OutDegree() so the
+//                          storage layout can evolve without touching
+//                          callers.
 //
 // Suppression: a finding on a line is suppressed by a comment on the same
 // line `NOLINT(osq-<rule>): <justification>` or the previous line
@@ -53,6 +61,7 @@ struct FileClass {
   bool header = false;      // .h: declaration-side nodiscard rule
   bool emission = false;    // match-emission layer: unordered-iter rule
   bool rng_exempt = false;  // common/rng*: may hold the raw engine
+  bool graph_core = false;  // graph/graph.{h,cc}: owns the adjacency arrays
 };
 
 // Path-substring classification; works both for tree files (src/core/...)

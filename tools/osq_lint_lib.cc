@@ -207,6 +207,7 @@ class Linter {
       CheckStdout(i, code);
       CheckUnorderedIter(i, code);
       CheckDeterminism(i, code);
+      CheckGraphAdjacency(i, code);
     }
   }
 
@@ -448,6 +449,35 @@ class Linter {
     }
   }
 
+  // --- osq-graph-adjacency -------------------------------------------------
+
+  void CheckGraphAdjacency(size_t idx, const std::string& code) {
+    if (cls_.graph_core) {
+      return;  // the Graph implementation owns the arrays
+    }
+    // The CSR member names may not appear at all outside graph core — a
+    // mirrored copy of the arrays is as layout-coupled as a subscript.
+    static const std::regex kCsrMember(
+        R"(\b(out_offsets_|in_offsets_|out_entries_|in_entries_|)"
+        R"(out_slot_|in_slot_|dyn_out_|dyn_in_)\b)");
+    auto begin = std::sregex_iterator(code.begin(), code.end(), kCsrMember);
+    for (auto it = begin; it != std::sregex_iterator(); ++it) {
+      Report(idx, "osq-graph-adjacency",
+             "direct use of Graph adjacency storage '" + (*it)[1].str() +
+                 "' outside graph/graph.{h,cc}; go through "
+                 "OutEdges()/InEdges()/OutDegree()");
+    }
+    // Pre-CSR style `out_[v]` / `in_[v]` adjacency subscripts.
+    static const std::regex kLegacy(R"(\b(out_|in_)\s*\[)");
+    begin = std::sregex_iterator(code.begin(), code.end(), kLegacy);
+    for (auto it = begin; it != std::sregex_iterator(); ++it) {
+      Report(idx, "osq-graph-adjacency",
+             "legacy '" + (*it)[1].str() +
+                 "[v]'-style adjacency access bypasses the Graph API; use "
+                 "OutEdges()/InEdges()");
+    }
+  }
+
   const std::string path_;
   const std::vector<Line>& lines_;
   const FileClass cls_;
@@ -483,6 +513,11 @@ FileClass ClassifyPath(const std::string& path) {
   if (path.find("common/rng") != std::string::npos ||
       stem.find("rng") == 0) {
     cls.rng_exempt = true;
+  }
+  // Only the Graph implementation itself (graph/graph.h + graph/graph.cc,
+  // not graph_io or graph_algorithms) may touch the adjacency arrays.
+  if (path.find("graph/graph.") != std::string::npos) {
+    cls.graph_core = true;
   }
   return cls;
 }

@@ -1,0 +1,254 @@
+// Scatter-gather serving benchmark for ShardedQueryService (shard/).
+//
+// Dataset: Community-like (gen/scenarios.h) — id-contiguous communities
+// with ring-local cross edges, partitioned by the RANGE policy so shard
+// boundaries align with community boundaries and halo replication stays
+// thin.  That locality is what makes per-shard work partition; the
+// HashContrast row below shows the same fan-out under hash partitioning,
+// where every shard's halo floods the graph and filtering work is
+// duplicated per shard.
+//
+// Phases:
+//   scatter — per-shard fan-out on every request (cache off) for
+//             --shards counts {1, 2, 4}; the N=1 row is the coordinator
+//             baseline, so ms(N)/ms(1) is the pure sharding overhead.
+//             On the single-core CI runner the scatter is sequential, so
+//             the acceptance claim is structural: overhead <= 25%
+//             (checked as --min-ratio BM_ShardServeShards1,
+//             BM_ShardServeShards4,0.8 by scripts/bench_check.py).
+//   hot     — cache on, closed loop (vector-stamped hits).
+//   mixed   — readers + a writer toggling one edge (routed batches,
+//             vector-stamp invalidation).
+//
+// Before timing, every shard configuration is differentially checked
+// against a single QueryEngine oracle — a mismatch fails the run outright.
+//
+//   bench_shard [--threads 1] [--iterations 500] [--json BENCH_shard.json]
+//
+// OSQ_BENCH_SCALE scales the dataset.
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/thread_pool.h"
+#include "core/index_maintenance.h"
+#include "core/query_engine.h"
+#include "gen/workload.h"
+#include "shard/sharded_query_service.h"
+
+namespace osq {
+namespace {
+
+using bench::ArgSize;
+using bench::ArgValue;
+using bench::JsonReport;
+using bench::PrintNote;
+using bench::PrintTitle;
+using bench::Scaled;
+
+constexpr uint32_t kHaloRadius = 3;
+
+struct PhaseResult {
+  double mean_us = 0.0;
+  uint64_t requests = 0;
+};
+
+PhaseResult RunReaders(ShardedQueryService* service,
+                       const std::vector<Graph>& queries,
+                       const QueryOptions& options, size_t threads,
+                       size_t iterations) {
+  std::vector<double> total_us(threads, 0.0);
+  std::vector<uint64_t> count(threads, 0);
+  RunConcurrently(threads, [&](size_t tid) {
+    for (size_t it = 0; it < iterations; ++it) {
+      const Graph& q = queries[(it + tid * 7) % queries.size()];
+      ShardedServedResult served = service->Query(q, options);
+      total_us[tid] += served.serve_us;
+      ++count[tid];
+    }
+  });
+  PhaseResult r;
+  for (size_t t = 0; t < threads; ++t) {
+    r.mean_us += total_us[t];
+    r.requests += count[t];
+  }
+  if (r.requests > 0) r.mean_us /= static_cast<double>(r.requests);
+  return r;
+}
+
+}  // namespace
+
+int Main(int argc, char** argv) {
+  size_t threads = ArgSize(argc, argv, "--threads", 1);
+  size_t iterations = ArgSize(argc, argv, "--iterations", 500);
+  std::string json_path = ArgValue(argc, argv, "--json", "BENCH_shard.json");
+
+  PrintTitle("shard: ShardedQueryService scatter-gather (Community-like)");
+  gen::ScenarioParams params;
+  params.scale = Scaled(800);
+  params.seed = 7;
+  gen::Workload workload = gen::MakeCommunityWorkload(params, 6);
+  std::vector<Graph> queries;
+  for (const gen::QueryTemplate& t : workload.templates) {
+    for (const Graph& q : t.queries) {
+      // The sharded tier rejects queries whose pivot eccentricity exceeds
+      // the halo radius; bench only what every shard count can serve.
+      if (ChoosePivot(q).eccentricity <= kHaloRadius) {
+        queries.push_back(q);
+      }
+    }
+  }
+  if (queries.empty()) {
+    std::fprintf(stderr, "no servable queries generated\n");
+    return 1;
+  }
+  std::printf("dataset: %zu nodes, %zu edges; %zu distinct queries; "
+              "%zu reader threads\n",
+              workload.data.graph.num_nodes(),
+              workload.data.graph.num_edges(), queries.size(), threads);
+
+  QueryOptions options;
+  options.theta = 0.9;
+  options.k = 10;
+
+  // Oracle answers for the differential pre-check.
+  QueryEngine oracle(workload.data.graph, workload.data.ontology,
+                     IndexOptions{});
+  std::vector<std::vector<Match>> expected;
+  expected.reserve(queries.size());
+  for (const Graph& q : queries) {
+    expected.push_back(oracle.Query(q, options).matches);
+  }
+
+  JsonReport report;
+  double shards1_us = 0.0;
+
+  // ---- scatter: cache off, every request is a full fan-out -------------
+  // Range policy (community-aligned) carries the structural claim; the
+  // trailing hash run shows the halo-flooding contrast at N=4.
+  struct ScatterConfig {
+    size_t n;
+    ShardPolicy policy;
+    const char* row;
+  };
+  const ScatterConfig configs[] = {
+      {1, ShardPolicy::kRange, "BM_ShardServeShards1"},
+      {2, ShardPolicy::kRange, "BM_ShardServeShards2"},
+      {4, ShardPolicy::kRange, "BM_ShardServeShards4"},
+      {4, ShardPolicy::kHash, "BM_ShardServeHashContrast4"},
+  };
+  for (const ScatterConfig& cfg : configs) {
+    ShardOptions so;
+    so.num_shards = cfg.n;
+    so.policy = cfg.policy;
+    so.halo_radius = kHaloRadius;
+    ServeOptions serve;
+    serve.cache_capacity = 0;
+    WallTimer build_timer;
+    ShardedQueryService service(workload.data.graph, workload.data.ontology,
+                                IndexOptions{}, so, serve);
+    double build_ms = build_timer.ElapsedMillis();
+    for (size_t qi = 0; qi < queries.size(); ++qi) {
+      ShardedServedResult served = service.Query(queries[qi], options);
+      if (!served.result.status.ok() ||
+          served.result.matches != expected[qi]) {
+        std::fprintf(stderr,
+                     "DIFFERENTIAL MISMATCH: shards=%zu policy=%s "
+                     "query %zu\n",
+                     cfg.n, cfg.policy == ShardPolicy::kRange ? "range"
+                                                              : "hash",
+                     qi);
+        return 1;
+      }
+    }
+    PhaseResult scatter =
+        RunReaders(&service, queries, options, threads, iterations);
+    if (cfg.n == 1) shards1_us = scatter.mean_us;
+    double overhead = shards1_us > 0.0
+                          ? scatter.mean_us / shards1_us - 1.0
+                          : 0.0;
+    std::printf("scatter shards=%zu (%s): built %.1f ms; %5zu requests, "
+                "mean %9.1f us/query (overhead vs N=1: %+.1f%%)\n",
+                cfg.n, cfg.policy == ShardPolicy::kRange ? "range" : "hash",
+                build_ms, static_cast<size_t>(scatter.requests),
+                scatter.mean_us, 100.0 * overhead);
+    report.Add(cfg.row, scatter.mean_us / 1000.0, threads,
+               {{"num_shards", static_cast<double>(cfg.n)}});
+  }
+
+  // ---- hot + mixed on a 2-shard service with the cache on --------------
+  ShardOptions so;
+  so.num_shards = 2;
+  so.policy = ShardPolicy::kRange;
+  so.halo_radius = kHaloRadius;
+  ShardedQueryService service(workload.data.graph, workload.data.ontology,
+                              IndexOptions{}, so, ServeOptions{});
+  PhaseResult warm = RunReaders(&service, queries, options, 1,
+                                queries.size());
+  PhaseResult hot =
+      RunReaders(&service, queries, options, threads, iterations);
+  double speedup = hot.mean_us > 0.0 ? warm.mean_us / hot.mean_us : 0.0;
+  std::printf("hot shards=2: %5zu requests, mean %9.1f us/query "
+              "(miss/hit speedup %.1fx)\n",
+              static_cast<size_t>(hot.requests), hot.mean_us, speedup);
+  report.Add("BM_ShardServeHot", hot.mean_us / 1000.0, threads,
+             {{"num_shards", 2.0}, {"speedup_miss_over_hit", speedup}});
+
+  std::vector<EdgeTriple> edges = workload.data.graph.EdgeList();
+  std::atomic<bool> stop{false};
+  uint64_t toggles = 0;
+  PhaseResult mixed;
+  {
+    EdgeTriple e = edges.front();
+    std::thread writer([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        GraphUpdate update =
+            toggles % 2 == 0 ? GraphUpdate::Delete(e.from, e.to, e.label)
+                             : GraphUpdate::Insert(e.from, e.to, e.label);
+        (void)service.ApplyUpdate(update);
+        ++toggles;
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+      if (toggles % 2 == 1) {  // leave the graph as we found it
+        (void)service.ApplyUpdate(GraphUpdate::Insert(e.from, e.to,
+                                                      e.label));
+        ++toggles;
+      }
+    });
+    mixed = RunReaders(&service, queries, options, threads, iterations);
+    stop.store(true, std::memory_order_release);
+    writer.join();
+  }
+  ServeStats stats = service.Stats();
+  double hit_rate = stats.queries > 0
+                        ? static_cast<double>(stats.cache_hits) /
+                              static_cast<double>(stats.queries)
+                        : 0.0;
+  std::printf("mixed shards=2: %5zu requests, mean %9.1f us/query "
+              "(%llu routed update batches)\n",
+              static_cast<size_t>(mixed.requests), mixed.mean_us,
+              static_cast<unsigned long long>(toggles));
+  report.Add("BM_ShardServeMixed", mixed.mean_us / 1000.0, threads,
+             {{"num_shards", 2.0},
+              {"update_batches", static_cast<double>(toggles)},
+              {"overall_hit_rate", hit_rate}});
+
+  PrintTitle("shard: cumulative 2-shard service stats");
+  std::fputs(stats.ToString().c_str(), stdout);
+  PrintNote("differential pre-check vs single-engine oracle: OK for "
+            "shards {1, 2, 4} range + {4} hash");
+
+  if (!json_path.empty()) report.WriteTo(json_path);
+  return 0;
+}
+
+}  // namespace osq
+
+int main(int argc, char** argv) { return osq::Main(argc, argv); }

@@ -18,10 +18,12 @@
 #   clang-format --check; see DESIGN.md §10.
 # - OSQ_BENCH_CHECK=1 adds an opt-in bench regression stage: one
 #   bench_micro_match run checked against BENCH_match.json (including the
-#   >=5x candidate-index floor and a live sig_node_rejections counter) and
+#   >=5x candidate-index floor and a live sig_node_rejections counter),
 #   one bench_load run checked against BENCH_load.json (including the
-#   >=10x binary-vs-text cold-start floor), both via
-#   scripts/bench_check.py.
+#   >=10x binary-vs-text cold-start floor), and one bench_shard run
+#   checked against BENCH_shard.json (including the structural sharding
+#   floor: 4-shard scatter overhead <= 25% vs the 1-shard coordinator at
+#   threads=1), all via scripts/bench_check.py.
 #
 # Usage: [OSQ_BENCH_CHECK=1] scripts/tier1.sh [extra cmake args...]
 set -euo pipefail
@@ -40,9 +42,9 @@ cmake -B build-tsan -S . -DOSQ_SANITIZE=thread -DOSQ_WERROR=ON \
   -DOSQ_BUILD_BENCHMARKS=OFF -DOSQ_BUILD_EXAMPLES=OFF "$@"
 cmake --build build-tsan -j --target thread_pool_test \
   parallel_determinism_test filter_maintenance_test \
-  query_service_stress_test deadline_stress_test
+  query_service_stress_test deadline_stress_test shard_stress_test
 ctest --test-dir build-tsan --output-on-failure \
-  -R 'ThreadPoolTest|ResolveNumThreadsTest|ParallelDeterminismTest|FilterMaintenanceTest|QueryServiceStressTest|DeadlineStressTest'
+  -R 'ThreadPoolTest|ResolveNumThreadsTest|ParallelDeterminismTest|FilterMaintenanceTest|QueryServiceStressTest|DeadlineStressTest|ShardStressTest'
 
 echo "== tier-1: fast suite under UndefinedBehaviorSanitizer =="
 cmake -B build-ubsan -S . -DOSQ_SANITIZE=undefined -DOSQ_WERROR=ON \
@@ -78,6 +80,14 @@ if [[ "${OSQ_BENCH_CHECK:-0}" == "1" ]]; then
   python3 scripts/bench_check.py build/bench_load_fresh.json \
     --baseline BENCH_load.json \
     --min-ratio BM_LoadSnapshotV1Text,BM_LoadSnapshotV2Binary,10
+
+  echo "== tier-1 (opt-in): sharding-overhead check vs BENCH_shard.json =="
+  cmake --build build -j --target bench_shard
+  build/bench/bench_shard --threads 1 --json build/bench_shard_fresh.json
+  # ms(N=1)/ms(N=4) >= 0.8  <=>  4-shard scatter overhead <= 25% vs N=1.
+  python3 scripts/bench_check.py build/bench_shard_fresh.json \
+    --baseline BENCH_shard.json \
+    --min-ratio BM_ShardServeShards1,BM_ShardServeShards4,0.8
 fi
 
 echo "tier-1 OK"

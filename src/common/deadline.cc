@@ -12,6 +12,8 @@ const char* StopReasonName(StopReason reason) {
       return "deadline_exceeded";
     case StopReason::kCancelled:
       return "cancelled";
+    case StopReason::kShardUnavailable:
+      return "shard_unavailable";
   }
   return "unknown";
 }

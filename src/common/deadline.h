@@ -26,16 +26,20 @@
 
 namespace osq {
 
-// Why an evaluation stopped early.  Ordered by precedence: when both a
-// deadline expiry and an explicit cancellation are observed, the higher
-// value (cancellation) wins in merges.
+// Why an evaluation stopped early.  Ordered by precedence: when several
+// reasons are observed across the phases (or shards) of one query, the
+// higher value wins in merges — an unavailable shard is a stronger
+// degradation signal than a deadline, which is stronger than none.
 enum class StopReason : uint8_t {
   kNone = 0,              // ran to completion
   kDeadlineExceeded = 1,  // wall-clock deadline expired mid-evaluation
   kCancelled = 2,         // caller cancelled via CancelToken
+  kShardUnavailable = 3,  // a shard failed; its portion of the answer is
+                          // missing (sharded serving tier, DESIGN.md §13)
 };
 
-// Human-readable name ("complete" / "deadline_exceeded" / "cancelled").
+// Human-readable name ("complete" / "deadline_exceeded" / "cancelled" /
+// "shard_unavailable").
 const char* StopReasonName(StopReason reason);
 
 // The higher-precedence of two stop reasons.

@@ -75,6 +75,7 @@ bool BlockCandidates(const ConceptGraph& cg, const OntologyGraph& o,
                      const std::vector<SignatureRequirement>& reqs,
                      const std::vector<std::vector<LabelId>>& sim_labels,
                      const ExecControl* exec,
+                     const PivotRestriction* restriction,
                      std::vector<std::vector<BlockId>>* out,
                      FilterStats* stats) {
   size_t nq = query.num_nodes();
@@ -142,6 +143,37 @@ bool BlockCandidates(const ConceptGraph& cg, const OntologyGraph& o,
     if (can[u].empty()) return false;
   }
 
+  // Pivot-seed restriction (sharded serving): drop pivot candidate blocks
+  // with no allowed member before the fixpoint, so refinement propagates
+  // the shard's cut to every other query node instead of re-deriving the
+  // full single-engine candidate sets.  One member scan per seeded pivot
+  // block; sound because a block without an allowed member can never hold
+  // an allowed pivot image (see PivotRestriction in the header).
+  if (restriction != nullptr && restriction->allowed != nullptr &&
+      restriction->query_node < nq) {
+    const std::vector<char>& allowed = *restriction->allowed;
+    NodeId u = restriction->query_node;
+    std::vector<BlockId>& list = can[u];
+    size_t kept = 0;
+    for (BlockId b : list) {
+      bool any = false;
+      for (NodeId v : cg.Members(b)) {
+        if (v < allowed.size() && allowed[v] != 0) {
+          any = true;
+          break;
+        }
+      }
+      if (any) {
+        list[kept++] = b;
+      } else {
+        in_can[u][b] = false;
+        ++stats->pivot_restricted_blocks;
+      }
+    }
+    list.resize(kept);
+    if (list.empty()) return false;
+  }
+
   // Fixpoint refinement over query edges (paper, Gview lines 5-10): drop a
   // candidate block when a query edge has no corresponding block edge.
   // The fixpoint is the one super-linear stage here, so it polls the
@@ -197,9 +229,23 @@ bool BlockCandidates(const ConceptGraph& cg, const OntologyGraph& o,
 
 }  // namespace
 
+QuerySimTables ComputeQuerySimTables(const OntologyGraph& ontology,
+                                     const SimilarityFunction& sim,
+                                     const Graph& query, double theta) {
+  QuerySimTables tables;
+  tables.theta = theta;
+  size_t nq = query.num_nodes();
+  tables.sims.resize(nq);
+  for (NodeId u = 0; u < nq; ++u) {
+    tables.sims[u] = ExactLabelSims(ontology, sim, query.NodeLabel(u), theta);
+  }
+  return tables;
+}
+
 FilterResult GviewFilter(const OntologyIndex& index, const Graph& query,
-                         const QueryOptions& options,
-                         const ExecControl* exec) {
+                         const QueryOptions& options, const ExecControl* exec,
+                         const PivotRestriction* restriction,
+                         const QuerySimTables* shared_sims) {
   FilterResult result;
   const Graph& g = index.data_graph();
   const OntologyGraph& o = index.ontology();
@@ -216,10 +262,19 @@ FilterResult GviewFilter(const OntologyIndex& index, const Graph& query,
   // non-lazy ablation); one ontology ball per query node.  Labels carried
   // by no data node cannot produce candidates and are dropped immediately,
   // which also tightens the lazy block selection below.
+  // A caller-supplied table set skips the ontology balls (the sharded
+  // coordinator computes them once per request); the per-index occurrence
+  // filter below still runs either way, so the tables end up identical.
+  OSQ_CHECK(shared_sims == nullptr ||
+            (shared_sims->theta == options.theta &&
+             shared_sims->sims.size() == nq));
   std::vector<std::unordered_map<LabelId, double>> exact_label_sims(nq);
   ParallelFor(num_threads, nq, [&](size_t u) {
-    std::unordered_map<LabelId, double> sims = ExactLabelSims(
-        o, sim, query.NodeLabel(static_cast<NodeId>(u)), options.theta);
+    std::unordered_map<LabelId, double> sims =
+        shared_sims != nullptr
+            ? shared_sims->sims[u]
+            : ExactLabelSims(o, sim, query.NodeLabel(static_cast<NodeId>(u)),
+                             options.theta);
     for (auto it = sims.begin(); it != sims.end();) {
       if (index.LabelOccursInData(it->first)) {
         ++it;
@@ -272,8 +327,8 @@ FilterResult GviewFilter(const OntologyIndex& index, const Graph& query,
     PerGraph& pg = per_graph[i];
     std::vector<std::vector<BlockId>> can;
     pg.ok = BlockCandidates(cg, o, sim, query, options, exact_label_sims,
-                            cindex, i, reqs, sim_labels, exec, &can,
-                            &pg.stats);
+                            cindex, i, reqs, sim_labels, exec, restriction,
+                            &can, &pg.stats);
     if (!pg.ok) return;
     pg.nodes.resize(nq);
     for (NodeId u = 0; u < nq; ++u) {
@@ -299,6 +354,7 @@ FilterResult GviewFilter(const OntologyIndex& index, const Graph& query,
     result.stats.initial_blocks += pg.stats.initial_blocks;
     result.stats.pruned_blocks += pg.stats.pruned_blocks;
     result.stats.sig_block_rejections += pg.stats.sig_block_rejections;
+    result.stats.pivot_restricted_blocks += pg.stats.pivot_restricted_blocks;
     result.stats.stopped =
         MergeStopReason(result.stats.stopped, pg.stats.stopped);
     if (!pg.ok) {
@@ -330,9 +386,21 @@ FilterResult GviewFilter(const OntologyIndex& index, const Graph& query,
   // passes its requirement).
   std::vector<std::vector<std::pair<NodeId, double>>> exact(nq);
   std::vector<size_t> node_rejects(nq, 0);
+  std::vector<size_t> restrict_rejects(nq, 0);
   ParallelFor(num_threads, nq, [&](size_t u) {
+    // The block-level restriction keeps any block with one allowed member;
+    // this is where the pivot's disallowed co-members drop out, before the
+    // node fixpoint ever scans their adjacency.
+    const bool restricted = restriction != nullptr &&
+                            restriction->allowed != nullptr &&
+                            static_cast<NodeId>(u) == restriction->query_node;
     const auto& sims = exact_label_sims[u];
     for (NodeId v : mat[u]) {
+      if (restricted && (v >= restriction->allowed->size() ||
+                         (*restriction->allowed)[v] == 0)) {
+        ++restrict_rejects[u];
+        continue;
+      }
       auto it = sims.find(g.NodeLabel(v));
       if (it == sims.end()) continue;
       if (cindex != nullptr && !cindex->NodePasses(v, reqs[u])) {
@@ -344,6 +412,7 @@ FilterResult GviewFilter(const OntologyIndex& index, const Graph& query,
   });
   for (NodeId u = 0; u < nq; ++u) {
     result.stats.sig_node_rejections += node_rejects[u];
+    result.stats.pivot_restricted_nodes += restrict_rejects[u];
   }
   for (NodeId u = 0; u < nq; ++u) {
     if (exact[u].empty()) {

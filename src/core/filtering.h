@@ -27,6 +27,7 @@
 #define OSQ_CORE_FILTERING_H_
 
 #include <cstddef>
+#include <unordered_map>
 #include <vector>
 
 #include "common/deadline.h"
@@ -35,6 +36,8 @@
 #include "graph/graph.h"
 #include "graph/subgraph.h"
 #include "graph/types.h"
+#include "ontology/ontology_graph.h"
+#include "ontology/similarity.h"
 
 namespace osq {
 
@@ -51,6 +54,10 @@ struct FilterStats {
   // QueryOptions::use_candidate_index is off.
   size_t sig_block_rejections = 0;
   size_t sig_node_rejections = 0;
+  // Pivot candidate blocks / data nodes dropped by a PivotRestriction
+  // (sharded serving); zero for unrestricted runs.
+  size_t pivot_restricted_blocks = 0;
+  size_t pivot_restricted_nodes = 0;
   // Size of the extracted G_v.
   size_t gv_nodes = 0;
   size_t gv_edges = 0;
@@ -79,6 +86,46 @@ struct FilterResult {
   FilterStats stats;
 };
 
+// Optional pivot-seed restriction for sharded serving (shard/): candidates
+// of `query_node` are limited to data nodes v with allowed[v] != 0, applied
+// BEFORE both refinement fixpoints — candidate blocks of the pivot with no
+// allowed member are dropped at seeding time, and disallowed data nodes are
+// dropped at the exact-theta step.  Refinement then propagates the cut to
+// the other query nodes, so per-shard filtering cost scales with the
+// shard's partition instead of re-deriving the full candidate sets.
+//
+// Soundness: for any match M with allowed M[query_node], every node of M
+// survives (M[query_node] sits in an allowed block and clears theta; the
+// fixpoints never prune a block/node all of whose match images remain), so
+// the restricted G_v contains every match whose pivot is allowed.  KMatch's
+// exact-top-K contract then makes the output the true top-K of that match
+// partition — the property the shard merge relies on for bit-identity.
+struct PivotRestriction {
+  NodeId query_node = 0;
+  // Data-node id -> allowed; ids at or beyond size() are disallowed.
+  const std::vector<char>* allowed = nullptr;
+};
+
+// Precomputed per-query-node label-similarity tables — the ontology-ball
+// stage of Gview, which depends only on (ontology, similarity function,
+// query, theta), NOT on the data graph.  Engines sharing those inputs can
+// share one table set: the sharded coordinator computes it once per
+// request and every shard reuses it, so query preprocessing stays O(1) in
+// the shard count.  GviewFilter still drops labels absent from ITS data
+// graph per call, so the filtered tables are bit-identical to the ones it
+// would have computed itself.
+struct QuerySimTables {
+  double theta = 0.0;  // must equal QueryOptions::theta at use time
+  // sims[u]: data label -> sim(L_q(u), label) >= theta, unfiltered by
+  // data-graph occurrence.
+  std::vector<std::unordered_map<LabelId, double>> sims;
+};
+
+// Computes QuerySimTables for `query` (one ontology ball per query node).
+[[nodiscard]] QuerySimTables ComputeQuerySimTables(
+    const OntologyGraph& ontology, const SimilarityFunction& sim,
+    const Graph& query, double theta);
+
 // Runs Gview for `query` over the index.  `query` must be a valid query
 // graph (see ValidateQuery); options.theta in (0, 1].
 //
@@ -102,10 +149,20 @@ struct FilterResult {
 // sets, with stats.stopped recording why.  The linear stages always run
 // to completion.  A stopped filter result is timing-dependent; the
 // thread-count determinism contract applies only to runs that complete.
-[[nodiscard]] FilterResult GviewFilter(const OntologyIndex& index,
-                                       const Graph& query,
-                                       const QueryOptions& options,
-                                       const ExecControl* exec = nullptr);
+//
+// `restriction` (optional) applies the pivot-seed restriction documented
+// on PivotRestriction above; restriction->query_node must be a node of
+// `query`.
+//
+// `shared_sims` (optional) supplies precomputed label-similarity tables
+// (see QuerySimTables); they must have been computed for this `query` on
+// this index's ontology/similarity function with options.theta.  Results
+// are bit-identical with or without them.
+[[nodiscard]] FilterResult GviewFilter(
+    const OntologyIndex& index, const Graph& query,
+    const QueryOptions& options, const ExecControl* exec = nullptr,
+    const PivotRestriction* restriction = nullptr,
+    const QuerySimTables* shared_sims = nullptr);
 
 }  // namespace osq
 

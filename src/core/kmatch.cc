@@ -12,9 +12,14 @@ namespace osq {
 
 namespace {
 
-// Strict-inequality slack when comparing score bounds against the current
-// K-th best, so equal-score matches are still explored and ties resolve
-// deterministically via MatchBetter.
+// Slack applied when comparing optimistic score bounds against the current
+// K-th best.  A branch is abandoned only when its bound falls below the
+// K-th score by MORE than this, so (a) equal-score matches are always
+// explored and the pool is the exact top-K under the MatchBetter total
+// order, and (b) the last-bit jitter between the running depth-order score
+// sum used for bounds and the canonical node-id-order sum recorded on
+// matches (floating-point addition is not associative) can never prune a
+// match that belongs in the answer.
 constexpr double kScoreEps = 1e-12;
 
 // Label-run comparisons over the allocation-free adjacency views.  Labels
@@ -112,6 +117,7 @@ class Searcher {
   explicit Searcher(const SearchContext& ctx)
       : ctx_(ctx), check_(ctx.exec) {
     assign_.assign(ctx_.query.num_nodes(), kInvalidNode);
+    assign_sim_.assign(ctx_.query.num_nodes(), 0.0);
     used_.assign(ctx_.target.num_nodes(), false);
   }
 
@@ -129,10 +135,11 @@ class Searcher {
     const Candidate& c = ctx_.candidates[ctx_.order[0]][root];
     ++steps_;
     double bound = c.sim + ctx_.suffix_best[1];
-    if (HaveK() && bound <= Threshold() + kScoreEps) return;
+    if (HaveK() && bound < Threshold() - kScoreEps) return;
     NodeId q = ctx_.order[0];
     if (!Consistent(q, c.node, 0)) return;
     assign_[q] = c.node;
+    assign_sim_[q] = c.sim;
     used_[c.node] = true;
     Recurse(1, c.sim);
     used_[c.node] = false;
@@ -196,12 +203,22 @@ class Searcher {
 
   double Threshold() const { return pool_.back().score; }
 
-  void Record(double score) {
+  void Record() {
     ++found_;
     Match m;
     m.mapping.assign(ctx_.query.num_nodes(), kInvalidNode);
     for (size_t i = 0; i < ctx_.order.size(); ++i) {
       m.mapping[ctx_.order[i]] = assign_[ctx_.order[i]];
+    }
+    // Canonical score: per-node similarities summed in query-node-id order,
+    // NOT in matching order.  The matching order depends on candidate-list
+    // sizes, which differ between thread/shard partitionings of the same
+    // search — summing in a fixed order keeps equal matches bit-identical
+    // no matter which partition discovered them, so merged top-K pools
+    // agree to the last bit.
+    double score = 0.0;
+    for (NodeId u = 0; u < ctx_.query.num_nodes(); ++u) {
+      score += assign_sim_[u];
     }
     m.score = score;
     if (ctx_.options.k == 0) {
@@ -230,23 +247,27 @@ class Searcher {
       return;
     }
     if (depth == ctx_.order.size()) {
-      Record(score);
+      Record();
       return;
     }
     NodeId q = ctx_.order[depth];
     for (const Candidate& c : ctx_.candidates[q]) {
       double bound = score + c.sim + ctx_.suffix_best[depth + 1];
       // Candidates are sorted by sim, so all later bounds are worse.  Once
-      // K matches are held, a branch that cannot STRICTLY beat the current
-      // K-th score is abandoned: ties beyond the K-th are interchangeable
-      // under top-K semantics, and exploring them all is exponential on
-      // graphs with many equal-similarity candidates.
-      if (HaveK() && bound <= Threshold() + kScoreEps) {
+      // K matches are held, a branch is abandoned only when its optimistic
+      // bound falls strictly below the current K-th score (minus the eps
+      // slack): branches that can merely TIE the K-th are still explored,
+      // so the pool is the exact top-K under the MatchBetter total order —
+      // ties resolve by lexicographic mapping, never by discovery order.
+      // That exactness is what lets per-root results merge associatively
+      // across thread and shard partitionings (DESIGN.md §13).
+      if (HaveK() && bound < Threshold() - kScoreEps) {
         break;
       }
       if (used_[c.node]) continue;
       if (!Consistent(q, c.node, depth)) continue;
       assign_[q] = c.node;
+      assign_sim_[q] = c.sim;
       used_[c.node] = true;
       Recurse(depth + 1, score + c.sim);
       used_[c.node] = false;
@@ -258,6 +279,9 @@ class Searcher {
   const SearchContext& ctx_;
   CancelCheck check_;
   std::vector<NodeId> assign_;
+  // Similarity of each query node's current assignment; read only at full
+  // depth (Record), where every entry is live.
+  std::vector<double> assign_sim_;
   std::vector<bool> used_;
   std::vector<Match> pool_;  // kept sorted by MatchBetter when k > 0
   size_t steps_ = 0;

@@ -13,15 +13,24 @@
 // Matching semantics follow QueryOptions::semantics; the paper's
 // definition (induced / "iff") is the default.
 //
+// The returned set is the EXACT top-K under the MatchBetter total order
+// (score descending, then lexicographic mapping): branch pruning abandons
+// only branches whose optimistic bound falls strictly below the current
+// K-th score, so equal-score matches are explored and ties resolve by the
+// total order, never by discovery order.  Scores are canonical — per-node
+// similarities summed in query-node-id order — so the same match carries
+// the same bits no matter which partition of the search found it.
+//
 // With QueryOptions::num_threads > 1 the search is partitioned by the
 // candidates of the first order node: partition 0 runs first and seeds a
 // shared top-K pool, the remaining partitions run in parallel against that
 // fixed seed and commit into the lock-protected pool, and an atomic score
 // threshold skips partitions whose optimistic bound falls strictly below
-// the current K-th best.  Because subtree searches read no timing-dependent
-// state and skips only ever discard strictly-dominated matches, the match
-// set and scores are identical for every thread count (see DESIGN.md,
-// "Parallel execution").
+// the current K-th best.  Exact top-K is associative and commutative under
+// merge, so the match set and scores are bit-identical for every thread
+// count — and for every root partitioning, which is what the sharded
+// serving tier's scatter-gather merge relies on (see DESIGN.md,
+// "Parallel execution" and §13).
 
 #ifndef OSQ_CORE_KMATCH_H_
 #define OSQ_CORE_KMATCH_H_

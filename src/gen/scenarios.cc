@@ -46,42 +46,58 @@ void AddCrossLinks(const std::vector<LabelId>& labels, size_t count, Rng* rng,
   }
 }
 
+// The six-domain RDF-style label space shared by MakeCrossDomainLike and
+// MakeCommunityLike: per-domain 3-level taxonomies with cross links, a
+// shared "entity" root, and relation labels keyed by domain pair.
+struct CrossDomainLabelSpace {
+  std::vector<std::vector<LabelId>> domain_leaves;  // per domain, leaf ids
+  std::vector<LabelId> relation_ids;
+  size_t num_domains() const { return domain_leaves.size(); }
+  // Relation for a (source domain, target domain) pair — mirrors RDF
+  // predicate locality.
+  LabelId RelationFor(size_t du, size_t dv) const {
+    return relation_ids[(du * 31 + dv * 7) % relation_ids.size()];
+  }
+};
+
+CrossDomainLabelSpace BuildCrossDomainLabelSpace(Rng* rng, Dataset* ds) {
+  CrossDomainLabelSpace space;
+  const std::vector<std::string> domains = {"person", "place",   "org",
+                                            "work",   "species", "music"};
+  for (const std::string& d : domains) {
+    std::vector<LabelId> leaves =
+        BuildTaxonomy(d, /*categories=*/5, /*leaves_per_category=*/6,
+                      &ds->dict, &ds->ontology);
+    AddCrossLinks(leaves, leaves.size() / 5, rng, &ds->ontology);
+    space.domain_leaves.push_back(std::move(leaves));
+  }
+  // Weakly connect the domain roots so the ontology forms one space
+  // (cross-domain datasets share upper-level concepts).
+  LabelId thing = ds->dict.Intern("entity");
+  ds->ontology.AddLabel(thing);
+  for (const std::string& d : domains) {
+    ds->ontology.AddRelation(thing, ds->dict.Lookup(d));
+  }
+  const std::vector<std::string> relations = {
+      "related_to", "born_in", "located_in", "member_of", "created", "cites"};
+  for (const std::string& r : relations) {
+    space.relation_ids.push_back(ds->dict.Intern(r));
+  }
+  return space;
+}
+
 }  // namespace
 
 Dataset MakeCrossDomainLike(const ScenarioParams& params) {
   Dataset ds;
   Rng rng(params.seed);
-  const std::vector<std::string> domains = {"person", "place",   "org",
-                                            "work",   "species", "music"};
-  // Per-domain taxonomies.
-  std::vector<std::vector<LabelId>> domain_leaves;
-  for (const std::string& d : domains) {
-    std::vector<LabelId> leaves =
-        BuildTaxonomy(d, /*categories=*/5, /*leaves_per_category=*/6,
-                      &ds.dict, &ds.ontology);
-    AddCrossLinks(leaves, leaves.size() / 5, &rng, &ds.ontology);
-    domain_leaves.push_back(std::move(leaves));
-  }
-  // Weakly connect the domain roots so the ontology forms one space
-  // (cross-domain datasets share upper-level concepts).
-  LabelId thing = ds.dict.Intern("entity");
-  ds.ontology.AddLabel(thing);
-  for (const std::string& d : domains) {
-    ds.ontology.AddRelation(thing, ds.dict.Lookup(d));
-  }
-
-  // Relation labels by domain pair.
-  const std::vector<std::string> relations = {
-      "related_to", "born_in", "located_in", "member_of", "created", "cites"};
-  std::vector<LabelId> relation_ids;
-  for (const std::string& r : relations) {
-    relation_ids.push_back(ds.dict.Intern(r));
-  }
+  CrossDomainLabelSpace space = BuildCrossDomainLabelSpace(&rng, &ds);
+  const std::vector<std::vector<LabelId>>& domain_leaves = space.domain_leaves;
 
   // Entities: domain chosen with skew, label a Zipf leaf of the domain.
   std::vector<size_t> node_domain(params.scale);
   for (size_t i = 0; i < params.scale; ++i) {
-    size_t d = rng.Zipf(domains.size(), 0.7);
+    size_t d = rng.Zipf(space.num_domains(), 0.7);
     node_domain[i] = d;
     const std::vector<LabelId>& leaves = domain_leaves[d];
     ds.graph.AddNode(leaves[rng.Zipf(leaves.size(), 0.8)]);
@@ -96,8 +112,56 @@ Dataset MakeCrossDomainLike(const ScenarioParams& params) {
     NodeId u = static_cast<NodeId>(rng.Index(params.scale));
     NodeId v = static_cast<NodeId>(rng.Index(params.scale));
     if (u == v) continue;
-    size_t rel = (node_domain[u] * 31 + node_domain[v] * 7) % relations.size();
-    ds.graph.AddEdge(u, v, relation_ids[rel]);
+    ds.graph.AddEdge(u, v, space.RelationFor(node_domain[u], node_domain[v]));
+  }
+  ds.graph.Freeze();
+  return ds;
+}
+
+Dataset MakeCommunityLike(const ScenarioParams& params) {
+  Dataset ds;
+  Rng rng(params.seed);
+  CrossDomainLabelSpace space = BuildCrossDomainLabelSpace(&rng, &ds);
+
+  // Id-contiguous communities on a ring; each community draws labels from
+  // one domain (round-robin), like one federation member hosting one
+  // dataset.  kCommunityNodes divides typical shard counts' range blocks,
+  // so kRange shard boundaries land on community boundaries.
+  constexpr size_t kCommunityNodes = 100;
+  // 1 - kIntraProb of edges go to an ADJACENT community on the ring; no
+  // edge ever spans more than one community boundary, which is what keeps
+  // range-shard halos thin.
+  constexpr double kIntraProb = 0.97;
+  size_t num_nodes = params.scale < kCommunityNodes ? kCommunityNodes
+                                                    : params.scale;
+  size_t num_comm = num_nodes / kCommunityNodes;
+  num_nodes = num_comm * kCommunityNodes;
+
+  std::vector<size_t> node_domain(num_nodes);
+  for (size_t i = 0; i < num_nodes; ++i) {
+    size_t d = (i / kCommunityNodes) % space.num_domains();
+    node_domain[i] = d;
+    const std::vector<LabelId>& leaves = space.domain_leaves[d];
+    ds.graph.AddNode(leaves[rng.Zipf(leaves.size(), 0.8)]);
+  }
+
+  size_t target_edges = num_nodes * 4;
+  size_t attempts = 0;
+  while (ds.graph.num_edges() < target_edges &&
+         attempts < target_edges * 20 + 100) {
+    ++attempts;
+    NodeId u = static_cast<NodeId>(rng.Index(num_nodes));
+    size_t cu = u / kCommunityNodes;
+    size_t cv = cu;
+    if (num_comm > 1 && !rng.Bernoulli(kIntraProb)) {
+      // Neighbor on the ring, either side.
+      cv = rng.Bernoulli(0.5) ? (cu + 1) % num_comm
+                              : (cu + num_comm - 1) % num_comm;
+    }
+    NodeId v = static_cast<NodeId>(cv * kCommunityNodes +
+                                   rng.Index(kCommunityNodes));
+    if (u == v) continue;
+    ds.graph.AddEdge(u, v, space.RelationFor(node_domain[u], node_domain[v]));
   }
   ds.graph.Freeze();
   return ds;

@@ -54,6 +54,17 @@ Dataset MakeFlickrLike(const ScenarioParams& params);
 // (NodePasses) prunes beyond what block aggregates can.
 Dataset MakeCatalogLike(const ScenarioParams& params);
 
+// Community-like: the CrossDomain label space arranged as a ring of
+// id-contiguous communities (one federation member per community, domains
+// round-robin), with almost all edges inside a community and the rest
+// between ADJACENT communities only.  This is the federation-locality
+// regime: range partitioning on node ids aligns shard boundaries with
+// community boundaries, so halo replication stays thin (a few boundary
+// nodes per shard) instead of flooding the whole graph the way a random
+// edge distribution forces it to.  The sharded serving benchmark
+// (bench/bench_shard.cc) uses it for its structural overhead claim.
+Dataset MakeCommunityLike(const ScenarioParams& params);
+
 }  // namespace gen
 }  // namespace osq
 

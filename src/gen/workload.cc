@@ -45,6 +45,23 @@ Workload MakeCrossDomainWorkload(const ScenarioParams& params,
   return w;
 }
 
+Workload MakeCommunityWorkload(const ScenarioParams& params,
+                               size_t queries_per_template) {
+  Workload w;
+  w.name = "Community";
+  w.data = MakeCommunityLike(params);
+  // The CrossDomain template profiles apply unchanged: communities draw
+  // from the same label space, queries just extract from local regions.
+  w.templates = {
+      {"QT1", {.num_nodes = 4, .generalize_prob = 0.5, .generalize_hops = 1}, {}},
+      {"QT2", {.num_nodes = 4, .generalize_prob = 0.5, .generalize_hops = 1}, {}},
+      {"QT3", {.num_nodes = 4, .generalize_prob = 0.7, .generalize_hops = 1}, {}},
+      {"QT5", {.num_nodes = 5, .generalize_prob = 0.5, .generalize_hops = 1}, {}},
+  };
+  PopulateTemplates(&w, queries_per_template, params.seed + 3000);
+  return w;
+}
+
 Workload MakeFlickrWorkload(const ScenarioParams& params,
                             size_t queries_per_template) {
   Workload w;

@@ -40,6 +40,12 @@ Workload MakeCrossDomainWorkload(const ScenarioParams& params,
 Workload MakeFlickrWorkload(const ScenarioParams& params,
                             size_t queries_per_template = 10);
 
+// Community-like workload (MakeCommunityLike) with the CrossDomain
+// template profiles; the federation-locality dataset the sharded serving
+// benchmark partitions by id range.
+Workload MakeCommunityWorkload(const ScenarioParams& params,
+                               size_t queries_per_template = 10);
+
 }  // namespace gen
 }  // namespace osq
 

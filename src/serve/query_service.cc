@@ -65,7 +65,8 @@ ServedResult QueryService::Query(const Graph& query,
   // exclusive lock.
   served.version = version_.load(std::memory_order_relaxed);
 
-  if (cache_.Lookup(key, served.version, &served.result)) {
+  VersionVector stamp = VersionVector::Scalar(served.version);
+  if (cache_.Lookup(key, stamp, &served.result)) {
     served.cache_hit = true;
   } else {
     served.result = engine_.Query(query, effective);
@@ -74,7 +75,7 @@ ServedResult QueryService::Query(const Graph& query,
     // serving it later as a hit would silently drop matches forever.
     if ((served.result.status.ok() || options_.cache_errors) &&
         served.result.complete()) {
-      cache_.Insert(key, served.version, served.result);
+      cache_.Insert(key, stamp, served.result);
     }
   }
   lock.unlock();
@@ -91,6 +92,11 @@ ServedResult QueryService::Query(const Graph& query,
       break;
     case StopReason::kCancelled:
       cancelled_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case StopReason::kShardUnavailable:
+      // Single-engine services never produce this; counted for switch
+      // exhaustiveness and so a sharded coordinator can reuse ServeStats.
+      shard_unavailable_.fetch_add(1, std::memory_order_relaxed);
       break;
   }
   if (served.cache_hit) {
@@ -114,7 +120,8 @@ void QueryService::FinishWriteLocked(size_t applied, size_t skipped) {
   updates_applied_.fetch_add(applied, std::memory_order_relaxed);
   uint64_t v = version_.load(std::memory_order_relaxed) + 1;
   version_.store(v, std::memory_order_release);
-  invalidations_.fetch_add(cache_.Invalidate(v), std::memory_order_relaxed);
+  invalidations_.fetch_add(cache_.Invalidate(VersionVector::Scalar(v)),
+                           std::memory_order_relaxed);
 }
 
 bool QueryService::ApplyUpdate(const GraphUpdate& update,
@@ -159,6 +166,7 @@ ServeStats QueryService::Stats() const {
   s.complete = complete_.load(std::memory_order_relaxed);
   s.deadline_exceeded = deadline_exceeded_.load(std::memory_order_relaxed);
   s.cancelled = cancelled_.load(std::memory_order_relaxed);
+  s.shard_unavailable = shard_unavailable_.load(std::memory_order_relaxed);
   s.shed = shed_.load(std::memory_order_relaxed);
   s.cache_evictions = cache_.evictions();
   // Invalidations = writer's eager sweeps plus entries dropped lazily at

@@ -131,6 +131,7 @@ class QueryService {
   std::atomic<uint64_t> complete_{0};
   std::atomic<uint64_t> deadline_exceeded_{0};
   std::atomic<uint64_t> cancelled_{0};
+  std::atomic<uint64_t> shard_unavailable_{0};
   std::atomic<uint64_t> shed_{0};
   std::atomic<uint64_t> invalidations_{0};
   std::atomic<uint64_t> update_batches_{0};

@@ -33,7 +33,7 @@ std::string QuerySignature(const Graph& query, const QueryOptions& options) {
   return sig;
 }
 
-bool ResultCache::Lookup(const std::string& key, uint64_t version,
+bool ResultCache::Lookup(const std::string& key, const VersionVector& version,
                          QueryResult* out) {
   if (capacity_ == 0) return false;
   std::lock_guard<std::mutex> lock(mu_);
@@ -50,7 +50,7 @@ bool ResultCache::Lookup(const std::string& key, uint64_t version,
   return true;
 }
 
-void ResultCache::Insert(const std::string& key, uint64_t version,
+void ResultCache::Insert(const std::string& key, const VersionVector& version,
                          const QueryResult& result) {
   if (capacity_ == 0) return;
   std::lock_guard<std::mutex> lock(mu_);
@@ -70,11 +70,11 @@ void ResultCache::Insert(const std::string& key, uint64_t version,
   }
 }
 
-size_t ResultCache::Invalidate(uint64_t version) {
+size_t ResultCache::Invalidate(const VersionVector& current) {
   std::lock_guard<std::mutex> lock(mu_);
   size_t dropped = 0;
   for (auto it = lru_.begin(); it != lru_.end();) {
-    if (it->version < version) {
+    if (it->version != current) {
       by_key_.erase(it->key);
       it = lru_.erase(it);
       ++dropped;

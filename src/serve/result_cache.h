@@ -2,12 +2,19 @@
 // signature (serve/result_cache.h:QuerySignature).
 //
 // Invalidation correctness is version-based: every entry is stamped with
-// the snapshot version it was computed at, and Lookup() only returns an
-// entry whose stamp equals the caller's current version — so even if the
-// eager Invalidate() pass after an update were skipped or raced, a stale
-// result could never be served (the stamp check is the proof obligation;
-// eager invalidation is just cleanup that frees capacity sooner).  See
-// DESIGN.md §8.
+// the snapshot version vector it was computed at, and Lookup() only
+// returns an entry whose stamp equals the caller's current vector — so
+// even if the eager Invalidate() pass after an update were skipped or
+// raced, a stale result could never be served (the stamp check is the
+// proof obligation; eager invalidation is just cleanup that frees
+// capacity sooner).  See DESIGN.md §8.
+//
+// The stamp is a VersionVector, one monotone component per independently
+// versioned snapshot source.  A single-engine QueryService uses a
+// one-component vector (VersionVector::Scalar); the sharded serving tier
+// stamps one component per shard, so an entry computed before ANY single
+// shard advanced is recognized as stale — a scalar max or sum could alias
+// distinct cuts (DESIGN.md §13).
 //
 // The cache is internally synchronized with a single mutex; entries are
 // full QueryResult copies, so a returned result is immune to later
@@ -22,6 +29,7 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "core/options.h"
 #include "core/query_engine.h"
@@ -42,6 +50,28 @@ namespace osq {
 // request).
 std::string QuerySignature(const Graph& query, const QueryOptions& options);
 
+// Snapshot stamp: one monotone version counter per independently advancing
+// snapshot source.  Equality is component-wise; because every component is
+// monotone, stamp != current implies the entry can never become valid
+// again.  Comparing vectors of different lengths is a caller bug (the
+// shard count of a service is fixed at construction) and simply compares
+// unequal.
+struct VersionVector {
+  std::vector<uint64_t> v;
+
+  // One-component vector for single-engine services.
+  static VersionVector Scalar(uint64_t version) {
+    return VersionVector{{version}};
+  }
+
+  friend bool operator==(const VersionVector& a, const VersionVector& b) {
+    return a.v == b.v;
+  }
+  friend bool operator!=(const VersionVector& a, const VersionVector& b) {
+    return !(a == b);
+  }
+};
+
 class ResultCache {
  public:
   // capacity == 0 disables the cache (Lookup always misses, Insert drops).
@@ -53,18 +83,19 @@ class ResultCache {
   // Copies the entry for `key` into *out and returns true when present
   // and stamped with exactly `version`.  An entry found with any other
   // stamp is dropped on the spot (it can never become valid again —
-  // versions are monotone).
-  bool Lookup(const std::string& key, uint64_t version, QueryResult* out);
+  // every component is monotone).
+  bool Lookup(const std::string& key, const VersionVector& version,
+              QueryResult* out);
 
   // Inserts (or refreshes) `key` -> (`version`, `result`), evicting the
   // least-recently-used entry when over capacity.
-  void Insert(const std::string& key, uint64_t version,
+  void Insert(const std::string& key, const VersionVector& version,
               const QueryResult& result);
 
-  // Drops every entry whose stamp is older than `version`; returns the
-  // number dropped.  Called by the writer after a mutation, under the
-  // exclusive snapshot lock.
-  size_t Invalidate(uint64_t version);
+  // Drops every entry whose stamp differs from the writer's `current`
+  // vector in any component; returns the number dropped.  Called by the
+  // writer after a mutation, under the exclusive snapshot lock.
+  size_t Invalidate(const VersionVector& current);
 
   size_t size() const;
   size_t capacity() const { return capacity_; }
@@ -77,7 +108,7 @@ class ResultCache {
  private:
   struct Entry {
     std::string key;
-    uint64_t version;
+    VersionVector version;
     QueryResult result;
   };
 

@@ -109,10 +109,11 @@ std::string ServeStats::ToString() const {
   out.append(line);
   std::snprintf(line, sizeof(line),
                 "completion: %llu complete, %llu deadline_exceeded, "
-                "%llu cancelled, %llu shed\n",
+                "%llu cancelled, %llu shard_unavailable, %llu shed\n",
                 static_cast<unsigned long long>(complete),
                 static_cast<unsigned long long>(deadline_exceeded),
                 static_cast<unsigned long long>(cancelled),
+                static_cast<unsigned long long>(shard_unavailable),
                 static_cast<unsigned long long>(shed));
   out.append(line);
   std::snprintf(line, sizeof(line),

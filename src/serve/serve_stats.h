@@ -39,6 +39,9 @@ struct ServeStats {
   uint64_t complete = 0;
   uint64_t deadline_exceeded = 0;
   uint64_t cancelled = 0;
+  // Queries degraded because one or more shards failed (sharded serving
+  // tier only; always 0 for a single-engine QueryService).
+  uint64_t shard_unavailable = 0;
   // Requests rejected at admission (ServeOptions::max_inflight exceeded);
   // NOT included in `queries` — they never reached the engine or cache.
   uint64_t shed = 0;

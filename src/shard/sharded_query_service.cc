@@ -1,0 +1,359 @@
+#include "shard/sharded_query_service.h"
+
+#include <algorithm>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "common/deadline.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "core/match.h"
+#include "graph/query_graph.h"
+
+namespace osq {
+
+namespace {
+
+uint64_t TenthUs(double us) {
+  return us > 0.0 ? static_cast<uint64_t>(us * 10.0) : 0;
+}
+
+void MergeShardStats(const QueryResult& from, QueryResult* into) {
+  into->filter_stats.initial_blocks += from.filter_stats.initial_blocks;
+  into->filter_stats.pruned_blocks += from.filter_stats.pruned_blocks;
+  into->filter_stats.pruned_nodes += from.filter_stats.pruned_nodes;
+  into->filter_stats.sig_block_rejections +=
+      from.filter_stats.sig_block_rejections;
+  into->filter_stats.sig_node_rejections +=
+      from.filter_stats.sig_node_rejections;
+  into->filter_stats.gv_nodes += from.filter_stats.gv_nodes;
+  into->filter_stats.gv_edges += from.filter_stats.gv_edges;
+  into->filter_stats.stopped =
+      MergeStopReason(into->filter_stats.stopped, from.filter_stats.stopped);
+  into->verify_stats.search_steps += from.verify_stats.search_steps;
+  into->verify_stats.matches_found += from.verify_stats.matches_found;
+  into->verify_stats.truncated =
+      into->verify_stats.truncated || from.verify_stats.truncated;
+  into->verify_stats.stopped =
+      MergeStopReason(into->verify_stats.stopped, from.verify_stats.stopped);
+  into->verify_stats.root_partitions += from.verify_stats.root_partitions;
+  into->verify_stats.partitions_skipped +=
+      from.verify_stats.partitions_skipped;
+  into->filter_ms += from.filter_ms;
+  into->verify_ms += from.verify_ms;
+}
+
+}  // namespace
+
+ShardedQueryService::ShardedQueryService(const Graph& g,
+                                         const OntologyGraph& ontology,
+                                         const IndexOptions& index_options,
+                                         const ShardOptions& shard_options,
+                                         const ServeOptions& serve_options)
+    : ShardedQueryService(g, ontology, index_options,
+                          GraphPartitioner(g, shard_options).Partition(),
+                          serve_options) {}
+
+ShardedQueryService::ShardedQueryService(const Graph& g,
+                                         const OntologyGraph& ontology,
+                                         const IndexOptions& index_options,
+                                         const ShardPlan& plan,
+                                         const ServeOptions& serve_options)
+    : shard_options_(plan.options),
+      options_(serve_options),
+      router_(g, plan),
+      cache_(serve_options.cache_capacity) {
+  shards_.reserve(plan.shards.size());
+  for (const ShardSpec& spec : plan.shards) {
+    shards_.emplace_back(spec, ontology, index_options);
+  }
+}
+
+VersionVector ShardedQueryService::CurrentVersionLocked() const {
+  VersionVector v;
+  v.v.reserve(shards_.size());
+  for (const ShardEngine& shard : shards_) {
+    v.v.push_back(shard.version());
+  }
+  return v;
+}
+
+QueryResult ShardedQueryService::ScatterGather(const Graph& query,
+                                               const QueryOptions& options,
+                                               size_t* shards_failed) {
+  QueryResult merged;
+  merged.status = ValidateQuery(query);
+  if (!merged.status.ok()) return merged;
+  PivotChoice pivot = ChoosePivot(query);
+  if (pivot.eccentricity > shard_options_.halo_radius) {
+    merged.status = Status::InvalidArgument(
+        "query radius " + std::to_string(pivot.eccentricity) +
+        " exceeds shard halo_radius " +
+        std::to_string(shard_options_.halo_radius) +
+        ": a shard could miss match nodes");
+    return merged;
+  }
+
+  // Each shard evaluates under a shared cancel token: the caller's when
+  // it supplied one, otherwise a private token that lets the first shard
+  // to exceed the deadline cancel its siblings.
+  QueryOptions child = options;
+  const bool own_token = !child.cancel.cancellable();
+  if (own_token) child.cancel = CancelToken::Cancellable();
+  std::atomic<bool> deadline_tripped{false};
+  // Fix the absolute deadline ONCE for the whole fan-out: a shard that
+  // starts late (stalled sibling on a small pool) must see the same
+  // expiry, not a fresh per-shard budget.
+  const Deadline deadline = Deadline::AfterMillis(options.deadline_ms);
+  // Query preprocessing (ontology balls) depends only on the shared
+  // ontology, so it too is computed once and reused by every shard —
+  // per-request setup cost stays O(1) in the shard count.
+  const QuerySimTables shared_sims =
+      shards_.front().PrepareQuery(query, options);
+
+  const size_t n = shards_.size();
+  std::vector<QueryResult> results(n);
+  std::vector<char> failed(n, 0);
+  ParallelFor(n, n, [&](size_t i) {
+    if (fault_hook_ != nullptr) {
+      Status s = fault_hook_(i);
+      if (!s.ok()) {
+        failed[i] = 1;
+        return;
+      }
+    }
+    results[i] =
+        shards_[i].Query(query, pivot.pivot, child, deadline, &shared_sims);
+    if (own_token &&
+        results[i].completeness == StopReason::kDeadlineExceeded) {
+      deadline_tripped.store(true, std::memory_order_relaxed);
+      child.cancel.RequestCancel();
+    }
+  });
+
+  size_t ok_shards = 0;
+  StopReason completeness = StopReason::kNone;
+  for (size_t i = 0; i < n; ++i) {
+    if (failed[i] != 0) {
+      completeness =
+          MergeStopReason(completeness, StopReason::kShardUnavailable);
+      ++*shards_failed;
+      continue;
+    }
+    StopReason c = results[i].completeness;
+    // Sibling-cancel remap: when OUR private token fired because a shard
+    // hit the deadline, the siblings' "cancelled" really means
+    // "deadline_exceeded" — the caller never asked to cancel.
+    if (own_token && c == StopReason::kCancelled &&
+        deadline_tripped.load(std::memory_order_relaxed)) {
+      c = StopReason::kDeadlineExceeded;
+    }
+    completeness = MergeStopReason(completeness, c);
+    merged.matches.insert(merged.matches.end(), results[i].matches.begin(),
+                          results[i].matches.end());
+    MergeShardStats(results[i], &merged);
+    ++ok_shards;
+  }
+  if (ok_shards == 0 && n > 0) {
+    merged.status = Status::Unavailable("all shards unavailable");
+    merged.matches.clear();
+    merged.completeness = StopReason::kShardUnavailable;
+    return merged;
+  }
+  merged.completeness = completeness;
+
+  // Per-shard match sets are disjoint (pivot ownership) and each is the
+  // shard's exact top-K under MatchBetter with canonical scores, so the
+  // global top-K is a sort + trim of the concatenation — bit-identical to
+  // the single-engine answer.
+  std::sort(merged.matches.begin(), merged.matches.end(), MatchBetter{});
+  if (options.k > 0 && merged.matches.size() > options.k) {
+    merged.matches.resize(options.k);
+  }
+  return merged;
+}
+
+ShardedServedResult ShardedQueryService::Query(const Graph& query,
+                                               const QueryOptions& options) {
+  ShardedServedResult served;
+  WallTimer total;
+
+  // Admission control, identical to QueryService: shed before the lock.
+  inflight_.fetch_add(1, std::memory_order_relaxed);
+  if (options_.max_inflight > 0 &&
+      inflight_.load(std::memory_order_relaxed) > options_.max_inflight) {
+    inflight_.fetch_sub(1, std::memory_order_relaxed);
+    served.shed = true;
+    served.result.status = Status::Unavailable(
+        "query shed: service at max_inflight capacity");
+    served.serve_us = total.ElapsedMicros();
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    return served;
+  }
+
+  QueryOptions effective = options;
+  if (effective.deadline_ms <= 0.0 && options_.default_deadline_ms > 0.0) {
+    effective.deadline_ms = options_.default_deadline_ms;
+  }
+  std::string key = QuerySignature(query, effective);
+
+  WallTimer wait;
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  served.wait_us = wait.ElapsedMicros();
+  read_wait_tenth_us_.fetch_add(TenthUs(served.wait_us),
+                                std::memory_order_relaxed);
+  served.version = CurrentVersionLocked();
+
+  if (cache_.Lookup(key, served.version, &served.result)) {
+    served.cache_hit = true;
+  } else {
+    served.result = ScatterGather(query, effective, &served.shards_failed);
+    // Only complete results are cacheable; a degraded merge (deadline,
+    // cancel, or a failed shard) is missing matches and must never be
+    // served as the exact answer.
+    if ((served.result.status.ok() || options_.cache_errors) &&
+        served.result.complete()) {
+      cache_.Insert(key, served.version, served.result);
+    }
+  }
+  lock.unlock();
+  inflight_.fetch_sub(1, std::memory_order_relaxed);
+
+  served.serve_us = total.ElapsedMicros();
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  switch (served.result.completeness) {
+    case StopReason::kNone:
+      complete_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case StopReason::kDeadlineExceeded:
+      deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case StopReason::kCancelled:
+      cancelled_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case StopReason::kShardUnavailable:
+      shard_unavailable_.fetch_add(1, std::memory_order_relaxed);
+      break;
+  }
+  if (served.cache_hit) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    hit_latency_.Record(served.serve_us);
+  } else {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    if (served.result.complete()) {
+      miss_latency_.Record(served.serve_us);
+    } else {
+      degraded_latency_.Record(served.serve_us);
+    }
+  }
+  return served;
+}
+
+void ShardedQueryService::ApplyDeltasLocked(
+    const std::vector<ShardDelta>& deltas) {
+  for (size_t s = 0; s < deltas.size() && s < shards_.size(); ++s) {
+    for (const ShardDelta::NodeAdd& add : deltas[s].node_adds) {
+      shards_[s].AddNodeGlobal(add.global, add.label, add.owned);
+    }
+    for (const GraphUpdate& update : deltas[s].updates) {
+      // The router only emits updates whose endpoints are shard members
+      // and whose effect is fresh; a false return here would mean a
+      // routing bug, surfaced by the differential suite rather than a
+      // crash in production.
+      (void)shards_[s].ApplyUpdateGlobal(update);
+    }
+  }
+}
+
+void ShardedQueryService::FinishWriteLocked(size_t applied) {
+  update_batches_.fetch_add(1, std::memory_order_relaxed);
+  if (applied == 0) return;  // no-op batch: snapshot cut unchanged
+  updates_applied_.fetch_add(applied, std::memory_order_relaxed);
+  invalidations_.fetch_add(cache_.Invalidate(CurrentVersionLocked()),
+                           std::memory_order_relaxed);
+}
+
+bool ShardedQueryService::ApplyUpdate(const GraphUpdate& update) {
+  WallTimer wait;
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  write_wait_tenth_us_.fetch_add(TenthUs(wait.ElapsedMicros()),
+                                 std::memory_order_relaxed);
+  bool applied = false;
+  std::vector<ShardDelta> deltas = router_.Route(update, &applied);
+  ApplyDeltasLocked(deltas);
+  FinishWriteLocked(applied ? 1 : 0);
+  return applied;
+}
+
+MaintenanceStats ShardedQueryService::ApplyUpdates(
+    const std::vector<GraphUpdate>& updates) {
+  WallTimer wait;
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  write_wait_tenth_us_.fetch_add(TenthUs(wait.ElapsedMicros()),
+                                 std::memory_order_relaxed);
+  MaintenanceStats stats;
+  for (const GraphUpdate& update : updates) {
+    bool applied = false;
+    std::vector<ShardDelta> deltas = router_.Route(update, &applied);
+    ApplyDeltasLocked(deltas);
+    if (applied) {
+      ++stats.applied;
+    } else {
+      ++stats.skipped;
+    }
+  }
+  FinishWriteLocked(stats.applied);
+  return stats;
+}
+
+NodeId ShardedQueryService::AddNode(LabelId label) {
+  WallTimer wait;
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  write_wait_tenth_us_.fetch_add(TenthUs(wait.ElapsedMicros()),
+                                 std::memory_order_relaxed);
+  NodeId global = kInvalidNode;
+  std::vector<ShardDelta> deltas = router_.RouteAddNode(label, &global);
+  ApplyDeltasLocked(deltas);
+  FinishWriteLocked(1);
+  return global;
+}
+
+VersionVector ShardedQueryService::version() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return CurrentVersionLocked();
+}
+
+ServeStats ShardedQueryService::Stats() const {
+  ServeStats s;
+  s.queries = queries_.load(std::memory_order_relaxed);
+  s.cache_hits = hits_.load(std::memory_order_relaxed);
+  s.cache_misses = misses_.load(std::memory_order_relaxed);
+  s.complete = complete_.load(std::memory_order_relaxed);
+  s.deadline_exceeded = deadline_exceeded_.load(std::memory_order_relaxed);
+  s.cancelled = cancelled_.load(std::memory_order_relaxed);
+  s.shard_unavailable = shard_unavailable_.load(std::memory_order_relaxed);
+  s.shed = shed_.load(std::memory_order_relaxed);
+  s.cache_evictions = cache_.evictions();
+  s.cache_invalidations = invalidations_.load(std::memory_order_relaxed) +
+                          cache_.stale_drops();
+  s.update_batches = update_batches_.load(std::memory_order_relaxed);
+  s.updates_applied = updates_applied_.load(std::memory_order_relaxed);
+  // ServeStats carries one scalar version; report the vector's component
+  // sum (total applied batches across shards).
+  for (uint64_t component : version().v) s.version += component;
+  s.read_wait_us =
+      static_cast<double>(
+          read_wait_tenth_us_.load(std::memory_order_relaxed)) /
+      10.0;
+  s.write_wait_us =
+      static_cast<double>(
+          write_wait_tenth_us_.load(std::memory_order_relaxed)) /
+      10.0;
+  s.hit_latency = hit_latency_.Summarize();
+  s.miss_latency = miss_latency_.Summarize();
+  s.degraded_latency = degraded_latency_.Summarize();
+  return s;
+}
+
+}  // namespace osq

@@ -1,0 +1,158 @@
+// ShardedQueryService — scatter-gather serving across N graph shards
+// (DESIGN.md §13).
+//
+// The coordinator owns one per-shard engine adapter per shard (built from
+// a GraphPartitioner plan) and serves queries by scattering the same query
+// to every shard on the shared thread pool, then merging the per-shard
+// top-K streams.  Merge determinism: every shard returns its exact top-K
+// under the MatchBetter total order with canonical scores and global node
+// ids, and the per-shard match sets partition the global match set (pivot
+// ownership dedup, see shard/shard_engine.h) — so concatenate + sort +
+// trim is bit-identical to a single-engine evaluation, for every shard
+// count and both partitioning policies.
+//
+// Snapshot isolation uses a VERSION VECTOR, one component per shard: the
+// writer applies each routed update batch under the exclusive snapshot
+// lock (all shards mutate inside one critical section = one consistent
+// cut), readers capture the vector under the shared lock, and the result
+// cache stamps entries with the full vector — one stale shard component
+// invalidates the entry (serve/result_cache.h).
+//
+// Degradation: the service-level deadline propagates to every shard; the
+// first shard to exceed it cancels its siblings (their results come back
+// remapped to deadline_exceeded, not cancelled, since the caller never
+// asked to cancel) and completeness is max-precedence-merged.  A shard
+// failed by the ShardFaultHook test seam contributes
+// StopReason::kShardUnavailable; partial results are returned but never
+// cached.  Admission control (max_inflight) sheds before the lock,
+// exactly like the single-engine QueryService.
+
+#ifndef OSQ_SHARD_SHARDED_QUERY_SERVICE_H_
+#define OSQ_SHARD_SHARDED_QUERY_SERVICE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <shared_mutex>
+#include <vector>
+
+#include "common/status.h"
+#include "core/index_maintenance.h"
+#include "core/options.h"
+#include "graph/graph.h"
+#include "ontology/ontology_graph.h"
+#include "serve/result_cache.h"
+#include "serve/serve_stats.h"
+#include "shard/partitioner.h"
+#include "shard/shard_engine.h"
+
+namespace osq {
+
+// A merged QueryResult plus per-request serving metadata (the sharded
+// analogue of ServedResult).
+struct ShardedServedResult {
+  QueryResult result;
+  bool cache_hit = false;
+  bool shed = false;
+  // Per-shard snapshot cut the result reflects.
+  VersionVector version;
+  // Shards that contributed nothing (fault hook / engine unavailability).
+  size_t shards_failed = 0;
+  double wait_us = 0.0;
+  double serve_us = 0.0;
+};
+
+// Test seam: called at the start of each shard's scatter task; a non-OK
+// status fails that shard for this request (the coordinator degrades
+// instead of hanging).  Install before serving traffic.
+using ShardFaultHook = std::function<Status(size_t shard)>;
+
+class ShardedQueryService {
+ public:
+  // Partitions `g` per `shard_options` and builds one engine per shard.
+  // `g` and `ontology` are copied (each shard owns its slice).
+  ShardedQueryService(const Graph& g, const OntologyGraph& ontology,
+                      const IndexOptions& index_options,
+                      const ShardOptions& shard_options,
+                      const ServeOptions& serve_options = ServeOptions{});
+
+  ShardedQueryService(const ShardedQueryService&) = delete;
+  ShardedQueryService& operator=(const ShardedQueryService&) = delete;
+
+  // Scatter-gather evaluation against the current snapshot cut.  Safe to
+  // call concurrently with itself and with the mutating calls below.
+  // Queries whose pivot eccentricity exceeds the configured halo_radius
+  // are rejected with kInvalidArgument (a shard could miss match nodes).
+  [[nodiscard]] ShardedServedResult Query(const Graph& query,
+                                          const QueryOptions& options);
+
+  // Mutations: routed to the owning shard(s) and applied atomically with
+  // respect to Query — readers see the whole routed batch or none of it.
+  bool ApplyUpdate(const GraphUpdate& update);
+  MaintenanceStats ApplyUpdates(const std::vector<GraphUpdate>& updates);
+  NodeId AddNode(LabelId label);
+
+  // Current per-shard snapshot cut.
+  VersionVector version() const;
+
+  // Point-in-time counters; ServeStats::version reports the sum of the
+  // vector's components (total applied batches across shards).
+  ServeStats Stats() const;
+
+  size_t num_shards() const { return shards_.size(); }
+  size_t cache_size() const { return cache_.size(); }
+  size_t inflight() const {
+    return inflight_.load(std::memory_order_relaxed);
+  }
+
+  // Install the fault-injection seam.  Not synchronized against in-flight
+  // queries — call before serving traffic (tests only).
+  void set_fault_hook(ShardFaultHook hook) { fault_hook_ = std::move(hook); }
+
+ private:
+  // Delegation target: the public constructor computes the plan once and
+  // hands it to both the shard engines and the router.
+  ShardedQueryService(const Graph& g, const OntologyGraph& ontology,
+                      const IndexOptions& index_options,
+                      const ShardPlan& plan,
+                      const ServeOptions& serve_options);
+
+  VersionVector CurrentVersionLocked() const;
+  void ApplyDeltasLocked(const std::vector<ShardDelta>& deltas);
+  void FinishWriteLocked(size_t applied);
+  QueryResult ScatterGather(const Graph& query, const QueryOptions& options,
+                            size_t* shards_failed);
+
+  ShardOptions shard_options_;
+  ServeOptions options_;
+  mutable std::shared_mutex mu_;  // guards shards_ + router_ (readers shared)
+  std::vector<ShardEngine> shards_;
+  UpdateRouter router_;
+  ResultCache cache_;
+  ShardFaultHook fault_hook_;
+
+  std::atomic<size_t> inflight_{0};
+
+  // Counters (relaxed; see serve/serve_stats.h for the rationale).
+  std::atomic<uint64_t> queries_{0};
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> complete_{0};
+  std::atomic<uint64_t> deadline_exceeded_{0};
+  std::atomic<uint64_t> cancelled_{0};
+  std::atomic<uint64_t> shard_unavailable_{0};
+  std::atomic<uint64_t> shed_{0};
+  std::atomic<uint64_t> invalidations_{0};
+  std::atomic<uint64_t> update_batches_{0};
+  std::atomic<uint64_t> updates_applied_{0};
+  std::atomic<uint64_t> read_wait_tenth_us_{0};
+  std::atomic<uint64_t> write_wait_tenth_us_{0};
+  LatencyHistogram hit_latency_;
+  LatencyHistogram miss_latency_;
+  LatencyHistogram degraded_latency_;
+};
+
+}  // namespace osq
+
+#endif  // OSQ_SHARD_SHARDED_QUERY_SERVICE_H_

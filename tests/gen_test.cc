@@ -1,5 +1,7 @@
 #include "gen/workload.h"
 
+#include <algorithm>
+
 #include <gtest/gtest.h>
 #include "core/ontology_index.h"
 #include "gen/query_gen.h"
@@ -183,6 +185,63 @@ TEST(ScenarioTest, CatalogLikeShape) {
   OntologyIndex index = OntologyIndex::Build(ds.graph, ds.ontology, idx);
   EXPECT_LT(index.concept_graph(0).AliveBlocks().size(),
             ds.graph.num_nodes() / 10);
+}
+
+TEST(ScenarioTest, CommunityLikeShape) {
+  gen::ScenarioParams p;
+  p.scale = 800;
+  gen::Dataset ds = gen::MakeCommunityLike(p);
+  // Scale rounds to whole communities of 100.
+  EXPECT_EQ(ds.graph.num_nodes(), 800u);
+  EXPECT_GT(ds.graph.num_edges(), 2000u);
+  EXPECT_TRUE(ds.graph.CheckConsistency());
+  for (NodeId v = 0; v < ds.graph.num_nodes(); ++v) {
+    EXPECT_TRUE(ds.ontology.ContainsLabel(ds.graph.NodeLabel(v)));
+  }
+  // The defining property: every edge stays inside a community or spans
+  // exactly one ring-adjacent boundary — this is what keeps range-shard
+  // halos thin in the sharded serving tier.
+  const size_t kCommunity = 100;
+  const size_t num_comm = ds.graph.num_nodes() / kCommunity;
+  size_t intra = 0;
+  for (const EdgeTriple& e : ds.graph.EdgeList()) {
+    size_t cu = e.from / kCommunity;
+    size_t cv = e.to / kCommunity;
+    size_t ring_dist = cu >= cv ? cu - cv : cv - cu;
+    ring_dist = std::min(ring_dist, num_comm - ring_dist);
+    EXPECT_LE(ring_dist, 1u) << "edge spans non-adjacent communities";
+    if (ring_dist == 0) ++intra;
+  }
+  // Most edges are intra-community.
+  EXPECT_GT(intra, ds.graph.num_edges() * 9 / 10);
+}
+
+TEST(ScenarioTest, CommunityLikeDeterministicForSeed) {
+  gen::ScenarioParams p;
+  p.scale = 300;
+  p.seed = 21;
+  gen::Dataset a = gen::MakeCommunityLike(p);
+  gen::Dataset b = gen::MakeCommunityLike(p);
+  ASSERT_EQ(a.graph.num_nodes(), b.graph.num_nodes());
+  ASSERT_EQ(a.graph.num_edges(), b.graph.num_edges());
+  EXPECT_EQ(a.graph.EdgeList(), b.graph.EdgeList());
+  for (NodeId v = 0; v < a.graph.num_nodes(); ++v) {
+    EXPECT_EQ(a.graph.NodeLabel(v), b.graph.NodeLabel(v));
+  }
+}
+
+TEST(WorkloadTest, CommunityWorkloadPopulated) {
+  gen::ScenarioParams p;
+  p.scale = 600;
+  gen::Workload w = gen::MakeCommunityWorkload(p, 5);
+  ASSERT_EQ(w.templates.size(), 4u);
+  EXPECT_EQ(w.name, "Community");
+  for (const auto& t : w.templates) {
+    EXPECT_GE(t.queries.size(), 1u) << t.name;
+    for (const Graph& q : t.queries) {
+      EXPECT_TRUE(ValidateQuery(q).ok());
+    }
+  }
 }
 
 TEST(WorkloadTest, CrossDomainWorkloadPopulated) {

@@ -256,9 +256,13 @@ TEST(KMatchTest, EmptyCandidateListYieldsNoMatch) {
 }
 
 
-TEST(KMatchTest, TiesBeyondKArePrunedButScoreIsOptimal) {
+TEST(KMatchTest, TiesAtKResolveByTotalOrderNotDiscoveryOrder) {
   // 6 interchangeable leaves with identical similarity: top-2 must return
-  // exactly 2 matches, both at the optimal score, without enumerating all.
+  // exactly 2 matches, both at the optimal score, and the tie at the K-th
+  // slot must resolve by the MatchBetter total order (lexicographically
+  // smallest mappings), not by which branch the search happened to visit
+  // first.  This order-invariance is what makes per-root results mergeable
+  // bit-identically across threads and shards (DESIGN.md §13).
   Graph target;
   target.AddNode(0);
   for (int i = 0; i < 6; ++i) target.AddNode(1);
@@ -270,7 +274,10 @@ TEST(KMatchTest, TiesBeyondKArePrunedButScoreIsOptimal) {
   query.AddEdge(0, 1, 0);
 
   std::vector<std::vector<Candidate>> cands = {{{0, 1.0}}, {}};
-  for (NodeId v = 1; v <= 6; ++v) cands[1].push_back({v, 0.9});
+  // Descending-similarity tie broken by ascending node id is the Gview
+  // ordering contract; feed the candidates reversed to prove the output
+  // does not depend on list order.
+  for (NodeId v = 6; v >= 1; --v) cands[1].push_back({v, 0.9});
 
   QueryOptions options;
   options.k = 2;
@@ -280,8 +287,12 @@ TEST(KMatchTest, TiesBeyondKArePrunedButScoreIsOptimal) {
   ASSERT_EQ(top.size(), 2u);
   EXPECT_DOUBLE_EQ(top[0].score, 1.9);
   EXPECT_DOUBLE_EQ(top[1].score, 1.9);
-  // Tie pruning: strictly fewer complete matches explored than exist.
-  EXPECT_LT(stats.matches_found, 6u);
+  // All six completions tie, so exact top-K must explore every one of them
+  // (ties within eps of the threshold are never pruned) ...
+  EXPECT_EQ(stats.matches_found, 6u);
+  // ... and keep the two smallest under the total order.
+  EXPECT_EQ(top[0].mapping, (std::vector<NodeId>{0, 1}));
+  EXPECT_EQ(top[1].mapping, (std::vector<NodeId>{0, 2}));
 
   QueryOptions all = options;
   all.k = 0;

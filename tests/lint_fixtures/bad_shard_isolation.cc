@@ -1,0 +1,33 @@
+// Fixture: shard-coordinator code reaching into engine/graph internals.
+// Every reach-through below must trigger osq-shard-isolation — the
+// coordinator may only talk to shards via the ShardEngine adapter.
+
+#include <vector>
+
+namespace osq {
+
+struct FakeGraph {
+  std::vector<int> OutEdges(int v) const;
+  std::vector<int> InEdges(int v) const;
+  bool AddEdge(int u, int v, int l);
+  bool RemoveEdge(int u, int v, int l);
+};
+
+void Coordinate(FakeGraph* g) {
+  QueryEngine engine;                    // violation: engine type
+  OntologyIndex index;                   // violation: engine type
+  auto filter = GviewFilter(index);      // violation: engine type
+  auto matches = KMatch(filter);         // violation: direct verify call
+  auto sub = InducedSubgraph(*g);        // violation: direct subgraph build
+  for (int e : g->OutEdges(0)) {         // violation: adjacency walk
+    (void)e;
+  }
+  (void)g->InEdges(1);                   // violation: adjacency walk
+  g->AddEdge(0, 1, 2);                   // violation: graph mutation
+  g->RemoveEdge(0, 1, 2);                // violation: graph mutation
+  (void)matches;
+  (void)sub;
+  (void)engine;
+}
+
+}  // namespace osq

@@ -1,0 +1,34 @@
+// Fixture: well-behaved shard-coordinator code.  All per-shard work goes
+// through the ShardEngine adapter; the coordinator only scatters, merges,
+// and routes — no engine types, no graph walks, no direct verification.
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+namespace osq {
+
+struct FakeShard {
+  std::vector<int> Query(int query, int pivot) const;
+  void AddNodeGlobal(int global, int label, bool owned);
+  bool ApplyUpdateGlobal(int update);
+};
+
+std::vector<int> Coordinate(std::vector<FakeShard>* shards, int query) {
+  std::vector<int> merged;
+  for (size_t i = 0; i < shards->size(); ++i) {
+    std::vector<int> part = (*shards)[i].Query(query, 0);
+    merged.insert(merged.end(), part.begin(), part.end());
+  }
+  std::sort(merged.begin(), merged.end());
+  return merged;
+}
+
+void Route(std::vector<FakeShard>* shards, int update) {
+  for (FakeShard& shard : *shards) {
+    shard.AddNodeGlobal(7, 1, true);
+    (void)shard.ApplyUpdateGlobal(update);
+  }
+}
+
+}  // namespace osq

@@ -93,6 +93,17 @@ TEST(OsqLintFixtureTest, CleanGraphAdjacency) {
   EXPECT_TRUE(LintFixture("clean_graph_adjacency.cc").empty());
 }
 
+TEST(OsqLintFixtureTest, BadShardIsolation) {
+  std::vector<Violation> vs = LintFixture("bad_shard_isolation.cc");
+  // 3 engine-type mentions + 2 direct engine calls + 4 graph members.
+  EXPECT_EQ(CountRule(vs, "osq-shard-isolation"), 9u);
+  EXPECT_EQ(vs.size(), 9u);
+}
+
+TEST(OsqLintFixtureTest, CleanShardIsolation) {
+  EXPECT_TRUE(LintFixture("clean_shard_isolation.cc").empty());
+}
+
 TEST(OsqLintFixtureTest, UnjustifiedSuppressionStillFails) {
   std::vector<Violation> vs = LintFixture("bad_nolint_unjustified.cc");
   EXPECT_EQ(CountRule(vs, "osq-no-stdout"), 2u);
@@ -116,6 +127,31 @@ TEST(OsqLintClassifyTest, RngExemption) {
   EXPECT_TRUE(ClassifyPath("src/common/rng.h").rng_exempt);
   EXPECT_TRUE(ClassifyPath("src/common/rng.cc").rng_exempt);
   EXPECT_FALSE(ClassifyPath("src/gen/synthetic.cc").rng_exempt);
+}
+
+TEST(OsqLintClassifyTest, ShardCoordinator) {
+  EXPECT_TRUE(
+      ClassifyPath("src/shard/sharded_query_service.cc").shard_coordinator);
+  EXPECT_TRUE(
+      ClassifyPath("src/shard/sharded_query_service.h").shard_coordinator);
+  // The adapter and the partitioner exist to own engine/graph internals.
+  EXPECT_FALSE(ClassifyPath("src/shard/shard_engine.cc").shard_coordinator);
+  EXPECT_FALSE(ClassifyPath("src/shard/shard_engine.h").shard_coordinator);
+  EXPECT_FALSE(ClassifyPath("src/shard/partitioner.cc").shard_coordinator);
+  EXPECT_FALSE(ClassifyPath("src/serve/query_service.cc").shard_coordinator);
+  // The whole shard layer emits merged matches: determinism rules apply.
+  EXPECT_TRUE(ClassifyPath("src/shard/sharded_query_service.cc").emission);
+  EXPECT_TRUE(ClassifyPath("src/shard/shard_engine.cc").emission);
+}
+
+TEST(OsqLintContentShardTest, CoordinatorAdapterCallsAreAllowed) {
+  std::vector<Violation> out;
+  LintContent("src/shard/sharded_query_service.cc",
+              "void f(std::vector<ShardEngine>* shards) {\n"
+              "  (*shards)[0].Query(1, 2);\n"
+              "}\n",
+              ClassifyPath("src/shard/sharded_query_service.cc"), &out);
+  EXPECT_TRUE(out.empty());
 }
 
 TEST(OsqLintClassifyTest, GraphCoreExemption) {

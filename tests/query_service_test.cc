@@ -217,23 +217,49 @@ TEST(ResultCacheTest, LookupTimeStaleDropsAreCounted) {
   // recorded (it was previously invisible, under-reporting invalidations).
   ResultCache cache(4);
   QueryResult result;
-  cache.Insert("q1", /*version=*/0, result);
-  cache.Insert("q2", /*version=*/0, result);
+  cache.Insert("q1", VersionVector::Scalar(0), result);
+  cache.Insert("q2", VersionVector::Scalar(0), result);
   EXPECT_EQ(cache.stale_drops(), 0u);
 
   QueryResult out;
-  EXPECT_FALSE(cache.Lookup("q1", /*version=*/1, &out));
+  EXPECT_FALSE(cache.Lookup("q1", VersionVector::Scalar(1), &out));
   EXPECT_EQ(cache.stale_drops(), 1u);
   EXPECT_EQ(cache.size(), 1u);  // dropped, not just skipped
 
   // Same-version lookups and plain misses do not count.
-  EXPECT_FALSE(cache.Lookup("q1", 1, &out));  // now a plain miss
-  EXPECT_TRUE(cache.Lookup("q2", 0, &out));
+  EXPECT_FALSE(cache.Lookup("q1", VersionVector::Scalar(1), &out));  // miss
+  EXPECT_TRUE(cache.Lookup("q2", VersionVector::Scalar(0), &out));
   EXPECT_EQ(cache.stale_drops(), 1u);
 
-  EXPECT_FALSE(cache.Lookup("q2", 3, &out));
+  EXPECT_FALSE(cache.Lookup("q2", VersionVector::Scalar(3), &out));
   EXPECT_EQ(cache.stale_drops(), 2u);
   EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(ResultCacheTest, SingleStaleShardComponentInvalidatesEntry) {
+  // Regression for the scalar-stamp latent bug: with per-shard versions a
+  // cache entry is valid only if EVERY component matches — one shard
+  // advancing must invalidate it even when the others (and any scalar
+  // aggregate of the vector) are unchanged.
+  ResultCache cache(4);
+  QueryResult result;
+  VersionVector at{{3, 5, 7}};
+  cache.Insert("q", at, result);
+
+  QueryResult out;
+  ASSERT_TRUE(cache.Lookup("q", VersionVector{{3, 5, 7}}, &out));
+
+  // Shard 1 applied a batch; shards 0 and 2 did not.
+  VersionVector after{{3, 6, 7}};
+  EXPECT_FALSE(cache.Lookup("q", after, &out));
+  EXPECT_EQ(cache.stale_drops(), 1u);
+  EXPECT_EQ(cache.size(), 0u);
+
+  // The eager sweep uses the same component-wise rule.
+  cache.Insert("a", VersionVector{{3, 6, 7}}, result);
+  cache.Insert("b", VersionVector{{3, 6, 8}}, result);
+  EXPECT_EQ(cache.Invalidate(VersionVector{{3, 6, 8}}), 1u);
+  EXPECT_TRUE(cache.Lookup("b", VersionVector{{3, 6, 8}}, &out));
 }
 
 TEST(QueryServiceTest, StatsFoldStaleDropsIntoInvalidations) {

@@ -1,0 +1,146 @@
+// Concurrency stress for the sharded serving tier, meant to run under
+// TSan (tier-1 race stage): concurrent readers scatter-gather while a
+// writer toggles the graph between two known states with routed update
+// batches.  Asserts vector-version snapshot isolation — every complete
+// result equals one of the two precomputed oracle answers, never a blend
+// of shards from different cuts — and cache non-pollution (a cache hit is
+// always a complete result).  Labeled `slow`.
+
+#include <atomic>
+#include <cstddef>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "core/query_engine.h"
+#include "gen/query_gen.h"
+#include "gen/scenarios.h"
+#include "graph/graph.h"
+#include "shard/sharded_query_service.h"
+
+namespace osq {
+namespace {
+
+TEST(ShardStressTest, ConcurrentReadersSeeConsistentVersionedSnapshots) {
+  gen::ScenarioParams p;
+  p.scale = 120;
+  p.seed = 19;
+  gen::Dataset ds = gen::MakeCrossDomainLike(p);
+
+  Rng rng(1234);
+  gen::QueryGenParams qp;
+  qp.num_nodes = 3;
+  qp.generalize_prob = 0.5;
+  std::vector<Graph> queries;
+  size_t attempts = 0;
+  while (queries.size() < 3 && ++attempts < 100) {
+    Graph q = gen::ExtractQuery(ds.graph, ds.ontology, qp, &rng);
+    if (!q.empty()) queries.push_back(std::move(q));
+  }
+  ASSERT_FALSE(queries.empty());
+
+  // The toggle batch: a handful of fresh edges between existing nodes.
+  // State A = the base graph, state B = base + batch.
+  std::set<LabelId> label_set;
+  for (const EdgeTriple& e : ds.graph.EdgeList()) label_set.insert(e.label);
+  std::vector<LabelId> labels(label_set.begin(), label_set.end());
+  ASSERT_FALSE(labels.empty());
+  std::vector<GraphUpdate> inserts;
+  while (inserts.size() < 5) {
+    NodeId u = static_cast<NodeId>(rng.Index(ds.graph.num_nodes()));
+    NodeId v = static_cast<NodeId>(rng.Index(ds.graph.num_nodes()));
+    if (u == v || ds.graph.HasEdgeAnyLabel(u, v)) continue;
+    inserts.push_back(
+        GraphUpdate::Insert(u, v, labels[rng.Index(labels.size())]));
+  }
+  std::vector<GraphUpdate> deletes;
+  for (const GraphUpdate& u : inserts) {
+    deletes.push_back(GraphUpdate::Delete(u.edge.from, u.edge.to,
+                                          u.edge.label));
+  }
+
+  IndexOptions idx;
+  QueryOptions qo;
+  qo.theta = 0.85;
+  qo.k = 8;
+
+  // Oracle answers for both states.
+  Graph graph_b = ds.graph;
+  for (const GraphUpdate& u : inserts) {
+    ASSERT_TRUE(graph_b.AddEdge(u.edge.from, u.edge.to, u.edge.label));
+  }
+  std::vector<std::vector<Match>> oracle_a, oracle_b;
+  {
+    QueryEngine ea(ds.graph, ds.ontology, idx);
+    QueryEngine eb(graph_b, ds.ontology, idx);
+    for (const Graph& q : queries) {
+      oracle_a.push_back(ea.Query(q, qo).matches);
+      oracle_b.push_back(eb.Query(q, qo).matches);
+    }
+  }
+
+  ShardOptions so;
+  so.num_shards = 3;
+  so.halo_radius = 2;
+  ShardedQueryService service(ds.graph, ds.ontology, idx, so);
+
+  constexpr size_t kReaders = 3;
+  constexpr size_t kToggles = 8;
+  constexpr size_t kQueriesPerReader = 40;
+  std::atomic<bool> done{false};
+  std::atomic<size_t> complete_results{0};
+  std::atomic<size_t> mismatches{0};
+
+  RunConcurrently(kReaders + 1, [&](size_t tid) {
+    if (tid == 0) {
+      // Writer: toggle A -> B -> A; each batch is one atomic cut.
+      for (size_t i = 0; i < kToggles; ++i) {
+        MaintenanceStats ms = service.ApplyUpdates(i % 2 == 0 ? inserts
+                                                              : deletes);
+        EXPECT_EQ(ms.applied, inserts.size());
+        std::this_thread::yield();
+      }
+      done.store(true);
+      return;
+    }
+    size_t qi = tid - 1;
+    for (size_t iter = 0; iter < kQueriesPerReader || !done.load();
+         ++iter) {
+      const Graph& q = queries[qi % queries.size()];
+      QueryOptions opts = qo;
+      if (iter % 7 == 3) opts.deadline_ms = 1e-4;  // degraded mix-in
+      ShardedServedResult served = service.Query(q, opts);
+      ASSERT_TRUE(served.result.status.ok());
+      // Cache non-pollution: hits only ever serve complete results.
+      if (served.cache_hit) {
+        EXPECT_TRUE(served.result.complete());
+      }
+      if (served.result.complete()) {
+        complete_results.fetch_add(1);
+        // Snapshot isolation: the merged answer matches ONE state's
+        // oracle exactly — a mixed cut would blend match sets.
+        const std::vector<Match>& got = served.result.matches;
+        if (got != oracle_a[qi % queries.size()] &&
+            got != oracle_b[qi % queries.size()]) {
+          mismatches.fetch_add(1);
+        }
+      }
+      ++qi;
+      if (iter > kQueriesPerReader * 50) break;  // safety valve
+    }
+  });
+
+  EXPECT_EQ(mismatches.load(), 0u);
+  EXPECT_GT(complete_results.load(), 0u);
+  // The final state after an even number of toggles is A.
+  ShardedServedResult final_served = service.Query(queries[0], qo);
+  ASSERT_TRUE(final_served.result.status.ok());
+  EXPECT_EQ(final_served.result.matches, oracle_a[0]);
+}
+
+}  // namespace
+}  // namespace osq

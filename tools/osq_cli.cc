@@ -22,6 +22,11 @@
 //           [--theta 0.9] [--k 10] [--threads 4] [--requests 200]
 //           [--cache 256] [--update-interval-ms 0] [--deadline-ms 0]
 //           [--max-inflight 0]
+//           [--shards N] [--shard-policy hash|range] [--halo 2]
+//           (--shards > 0 serves through the scatter-gather
+//            ShardedQueryService: N partitioned engines, merged top-K
+//            bit-identical to a single engine, vector-stamped cache;
+//            requires --graph/--ontology, not --snapshot)
 //   osq_cli stats    --graph g.txt --ontology o.txt
 //
 // --threads N parallelizes index build and query evaluation over N threads
@@ -58,6 +63,7 @@
 #include "gen/scenarios.h"
 #include "gen/synthetic.h"
 #include "graph/graph_algorithms.h"
+#include "shard/sharded_query_service.h"
 #include "graph/graph_io.h"
 #include "query/pattern_parser.h"
 #include "serve/query_service.h"
@@ -391,7 +397,122 @@ int CmdBench(const FlagMap& flags) {
   return 0;
 }
 
+// serve-bench with --shards N: the same closed loop driven through the
+// scatter-gather ShardedQueryService instead of a single QueryService.
+int CmdServeBenchSharded(const FlagMap& flags, size_t num_shards) {
+  if (!GetFlag(flags, "snapshot", "").empty()) {
+    std::fprintf(stderr,
+                 "--shards builds per-shard engines from --graph/--ontology;"
+                 " --snapshot is not supported\n");
+    return 1;
+  }
+  gen::Dataset ds;
+  if (int rc = LoadDataset(flags, &ds); rc != 0) return rc;
+
+  std::string queries_path = GetFlag(flags, "queries", "");
+  if (queries_path.empty()) {
+    std::fprintf(stderr, "serve-bench needs --queries <patterns file>\n");
+    return 1;
+  }
+  std::vector<ParsedPattern> patterns;
+  Status s = LoadPatternsFromFile(queries_path, &ds.dict, &patterns);
+  if (!s.ok()) return Fail(s);
+  if (patterns.empty()) {
+    std::fprintf(stderr, "no patterns in %s\n", queries_path.c_str());
+    return 1;
+  }
+
+  QueryOptions options;
+  options.theta = GetDouble(flags, "theta", options.theta);
+  options.k = GetSize(flags, "k", options.k);
+  size_t threads = GetSize(flags, "threads", 4);
+  if (threads == 0) threads = 1;
+  size_t requests = GetSize(flags, "requests", 200);
+  size_t update_interval_ms = GetSize(flags, "update-interval-ms", 0);
+
+  ServeOptions serve;
+  serve.cache_capacity = GetSize(flags, "cache", serve.cache_capacity);
+  serve.default_deadline_ms = GetDouble(flags, "deadline-ms", 0.0);
+  serve.max_inflight = GetSize(flags, "max-inflight", 0);
+
+  ShardOptions shard_options;
+  shard_options.num_shards = num_shards;
+  std::string policy = GetFlag(flags, "shard-policy", "hash");
+  if (policy == "range") {
+    shard_options.policy = ShardPolicy::kRange;
+  } else if (policy != "hash") {
+    std::fprintf(stderr, "--shard-policy must be hash or range\n");
+    return 1;
+  }
+  shard_options.halo_radius = static_cast<uint32_t>(
+      GetSize(flags, "halo", shard_options.halo_radius));
+
+  std::vector<EdgeTriple> edges = ds.graph.EdgeList();
+  WallTimer startup_timer;
+  ShardedQueryService service(ds.graph, ds.ontology,
+                              IndexOptionsFromFlags(flags), shard_options,
+                              serve);
+  std::printf("%zu shard engines (%s, halo %u) built in %.1f ms; serving "
+              "%zu patterns on %zu client threads (%zu requests each, "
+              "cache %zu)\n",
+              service.num_shards(), policy.c_str(),
+              shard_options.halo_radius, startup_timer.ElapsedMillis(),
+              patterns.size(), threads, requests, serve.cache_capacity);
+
+  std::atomic<bool> stop{false};
+  std::thread writer;
+  uint64_t toggles = 0;
+  if (update_interval_ms > 0 && !edges.empty()) {
+    EdgeTriple e = edges.front();
+    writer = std::thread([&service, &stop, &toggles, e,
+                          update_interval_ms] {
+      while (!stop.load(std::memory_order_acquire)) {
+        GraphUpdate update =
+            toggles % 2 == 0 ? GraphUpdate::Delete(e.from, e.to, e.label)
+                             : GraphUpdate::Insert(e.from, e.to, e.label);
+        (void)service.ApplyUpdate(update);
+        ++toggles;
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(update_interval_ms));
+      }
+      if (toggles % 2 == 1) {  // leave the graph as we found it
+        (void)service.ApplyUpdate(GraphUpdate::Insert(e.from, e.to,
+                                                      e.label));
+        ++toggles;
+      }
+    });
+  }
+
+  WallTimer run_timer;
+  RunConcurrently(threads, [&](size_t tid) {
+    for (size_t it = 0; it < requests; ++it) {
+      const Graph& q = patterns[(it + tid * 7) % patterns.size()].query;
+      (void)service.Query(q, options);
+    }
+  });
+  double run_ms = run_timer.ElapsedMillis();
+  stop.store(true, std::memory_order_release);
+  if (writer.joinable()) writer.join();
+
+  ServeStats stats = service.Stats();
+  std::printf("served %llu queries in %.1f ms (%.0f qps)",
+              static_cast<unsigned long long>(stats.queries), run_ms,
+              run_ms > 0.0 ? 1000.0 * static_cast<double>(stats.queries) /
+                                 run_ms
+                           : 0.0);
+  if (toggles > 0) {
+    std::printf(", %llu routed update batches",
+                static_cast<unsigned long long>(toggles));
+  }
+  std::printf("\n");
+  std::fputs(stats.ToString().c_str(), stdout);
+  return 0;
+}
+
 int CmdServeBench(const FlagMap& flags) {
+  if (size_t shards = GetSize(flags, "shards", 0); shards > 0) {
+    return CmdServeBenchSharded(flags, shards);
+  }
   // The service starts either from a binary snapshot (sub-second cold
   // start) or by loading text files and building the index here.
   gen::Dataset ds;

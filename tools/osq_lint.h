@@ -23,6 +23,15 @@
 //                          `system_clock` in library code: all randomness
 //                          flows through the seeded Rng, all clocks through
 //                          timer.h/deadline.h (steady), so runs replay.
+//   osq-shard-isolation    Shard-coordinator code (src/shard/ minus the
+//                          per-shard ShardEngine adapter and the
+//                          partitioner) must not reach into QueryEngine /
+//                          Graph internals — no engine construction, no
+//                          direct filtering/verification calls, no
+//                          adjacency walks or edge mutation.  Everything
+//                          crosses the shard boundary through the
+//                          ShardEngine adapter, so the coordinator stays
+//                          correct when the per-shard engine evolves.
 //   osq-graph-adjacency    The CSR adjacency arrays (out_offsets_,
 //                          out_entries_, in_offsets_, in_entries_, the slot
 //                          maps and thaw overlays) are private to Graph, and
@@ -62,6 +71,9 @@ struct FileClass {
   bool emission = false;    // match-emission layer: unordered-iter rule
   bool rng_exempt = false;  // common/rng*: may hold the raw engine
   bool graph_core = false;  // graph/graph.{h,cc}: owns the adjacency arrays
+  // Shard-layer coordinator code (not the ShardEngine adapter or the
+  // partitioner): engine/graph internals are off-limits.
+  bool shard_coordinator = false;
 };
 
 // Path-substring classification; works both for tree files (src/core/...)

@@ -208,6 +208,7 @@ class Linter {
       CheckUnorderedIter(i, code);
       CheckDeterminism(i, code);
       CheckGraphAdjacency(i, code);
+      CheckShardIsolation(i, code);
     }
   }
 
@@ -478,6 +479,44 @@ class Linter {
     }
   }
 
+  // --- osq-shard-isolation -------------------------------------------------
+
+  void CheckShardIsolation(size_t idx, const std::string& code) {
+    if (!cls_.shard_coordinator) {
+      return;
+    }
+    // Engine-layer types and free functions the coordinator must not name:
+    // it talks to shards through the ShardEngine adapter only.
+    static const std::regex kEngineType(
+        R"(\b(QueryEngine|OntologyIndex|GviewFilter|KMatchOnGraph)\b)");
+    std::smatch m;
+    if (std::regex_search(code, m, kEngineType)) {
+      Report(idx, "osq-shard-isolation",
+             "shard coordinator names engine internal '" + m[1].str() +
+                 "'; route the work through the ShardEngine adapter");
+    }
+    static const std::regex kEngineCall(
+        R"(\b(KMatch|InducedSubgraph)\s*\()");
+    if (std::regex_search(code, m, kEngineCall)) {
+      Report(idx, "osq-shard-isolation",
+             "shard coordinator calls '" + m[1].str() +
+                 "()' directly; per-shard evaluation belongs in "
+                 "ShardEngine");
+    }
+    // Graph traversal / mutation members: the coordinator never walks or
+    // edits a shard's graph itself.
+    static const std::regex kGraphMember(
+        R"((\.|->)\s*(OutEdges|InEdges|EdgeLabelRange|AddEdge|RemoveEdge))"
+        R"(\s*\()");
+    auto begin = std::sregex_iterator(code.begin(), code.end(), kGraphMember);
+    for (auto it = begin; it != std::sregex_iterator(); ++it) {
+      Report(idx, "osq-shard-isolation",
+             "shard coordinator uses Graph member '" + (*it)[2].str() +
+                 "()'; graph access belongs behind the ShardEngine "
+                 "adapter");
+    }
+  }
+
   const std::string path_;
   const std::vector<Line>& lines_;
   const FileClass cls_;
@@ -518,6 +557,17 @@ FileClass ClassifyPath(const std::string& path) {
   // not graph_io or graph_algorithms) may touch the adjacency arrays.
   if (path.find("graph/graph.") != std::string::npos) {
     cls.graph_core = true;
+  }
+  // The shard layer emits merged matches (same determinism stakes as
+  // serve/), and its coordinator files — everything except the ShardEngine
+  // adapter and the partitioner, which exist to own the engine/graph
+  // internals — must stay isolated from those internals.
+  if (path.find("shard") != std::string::npos) {
+    cls.emission = true;
+    if (stem.find("shard_engine") == std::string::npos &&
+        stem.find("partitioner") == std::string::npos) {
+      cls.shard_coordinator = true;
+    }
   }
   return cls;
 }

@@ -42,9 +42,10 @@ cmake -B build-tsan -S . -DOSQ_SANITIZE=thread -DOSQ_WERROR=ON \
   -DOSQ_BUILD_BENCHMARKS=OFF -DOSQ_BUILD_EXAMPLES=OFF "$@"
 cmake --build build-tsan -j --target thread_pool_test \
   parallel_determinism_test filter_maintenance_test \
-  query_service_stress_test deadline_stress_test shard_stress_test
+  query_service_stress_test deadline_stress_test shard_stress_test \
+  ingest_pipeline_test ingest_differential_test
 ctest --test-dir build-tsan --output-on-failure \
-  -R 'ThreadPoolTest|ResolveNumThreadsTest|ParallelDeterminismTest|FilterMaintenanceTest|QueryServiceStressTest|DeadlineStressTest|ShardStressTest'
+  -R 'ThreadPoolTest|ResolveNumThreadsTest|ParallelDeterminismTest|FilterMaintenanceTest|QueryServiceStressTest|DeadlineStressTest|ShardStressTest|IngestPipelineTest|IngestDifferentialTest'
 
 echo "== tier-1: fast suite under UndefinedBehaviorSanitizer =="
 cmake -B build-ubsan -S . -DOSQ_SANITIZE=undefined -DOSQ_WERROR=ON \
@@ -88,6 +89,16 @@ if [[ "${OSQ_BENCH_CHECK:-0}" == "1" ]]; then
   python3 scripts/bench_check.py build/bench_shard_fresh.json \
     --baseline BENCH_shard.json \
     --min-ratio BM_ShardServeShards1,BM_ShardServeShards4,0.8
+
+  echo "== tier-1 (opt-in): live-ingest check vs BENCH_ingest.json =="
+  cmake --build build -j --target bench_ingest
+  build/bench/bench_ingest --json build/bench_ingest_fresh.json
+  # recompute/online >= 50  <=>  one online batch <= 2% of a full engine
+  # rebuild — the paper's incremental-maintenance claim, measured under
+  # concurrent read traffic.
+  python3 scripts/bench_check.py build/bench_ingest_fresh.json \
+    --baseline BENCH_ingest.json \
+    --min-ratio BM_IngestRecompute,BM_IngestOnline,50
 fi
 
 echo "tier-1 OK"

@@ -1,0 +1,140 @@
+#include "gen/churn.h"
+
+#include <algorithm>
+#include <tuple>
+
+#include "common/check.h"
+
+namespace osq {
+namespace gen {
+
+namespace {
+
+std::tuple<NodeId, NodeId, LabelId> KeyOf(const EdgeTriple& e) {
+  return {e.from, e.to, e.label};
+}
+
+}  // namespace
+
+ChurnStream::ChurnStream(const Graph& g, const ChurnParams& params)
+    : params_(params), rng_(params.seed) {
+  live_ = g.EdgeList();
+  OSQ_CHECK(!live_.empty());
+  for (size_t i = 0; i < live_.size(); ++i) {
+    live_index_[KeyOf(live_[i])] = i;
+    edge_labels_.push_back(live_[i].label);
+  }
+  std::sort(edge_labels_.begin(), edge_labels_.end());
+  edge_labels_.erase(
+      std::unique(edge_labels_.begin(), edge_labels_.end()),
+      edge_labels_.end());
+}
+
+void ChurnStream::AddLive(const EdgeTriple& e) {
+  live_index_[KeyOf(e)] = live_.size();
+  live_.push_back(e);
+}
+
+void ChurnStream::RemoveLive(size_t index) {
+  live_index_.erase(KeyOf(live_[index]));
+  if (index + 1 != live_.size()) {
+    live_[index] = live_.back();
+    live_index_[KeyOf(live_[index])] = index;
+  }
+  live_.pop_back();
+}
+
+bool ChurnStream::IsLive(const EdgeTriple& e) const {
+  return live_index_.count(KeyOf(e)) > 0;
+}
+
+void ChurnStream::Emit(const GraphUpdate& update,
+                       std::vector<GraphUpdate>* out) {
+  out->push_back(update);
+  history_.push_back(update);
+}
+
+void ChurnStream::MaybeDuplicate(std::vector<GraphUpdate>* out) {
+  if (history_.empty() || !rng_.Bernoulli(params_.duplicate_fraction)) {
+    return;
+  }
+  // Safe re-emission: the duplicate asks for a state the edge is already
+  // in, so the engine skips it and the live set is untouched.
+  GraphUpdate again = history_.back();
+  Emit(again, out);
+}
+
+std::vector<GraphUpdate> ChurnStream::Next(size_t steps) {
+  std::vector<GraphUpdate> out;
+  out.reserve(steps + steps / 2);
+  for (size_t step = 0; step < steps; ++step) {
+    // The live set can only shrink to empty through decay; reseed churn
+    // type as growth when nothing is left to delete or drift.
+    double roll = rng_.Double();
+    const bool want_growth =
+        roll < params_.growth_fraction || live_.empty();
+    const bool want_drift =
+        !want_growth &&
+        roll < params_.growth_fraction + params_.drift_fraction;
+
+    if (want_growth) {
+      // Copy-model growth: source and label from one live edge, target
+      // from another edge with the same label; a handful of rejection
+      // tries keeps the insert fresh without an exhaustive scan.
+      bool emitted = false;
+      for (int attempt = 0; attempt < 8 && !emitted; ++attempt) {
+        const EdgeTriple& donor =
+            live_[static_cast<size_t>(rng_.Index(live_.size()))];
+        const EdgeTriple& target_donor =
+            live_[static_cast<size_t>(rng_.Index(live_.size()))];
+        if (target_donor.label != donor.label) continue;
+        EdgeTriple fresh{donor.from, target_donor.to, donor.label};
+        if (fresh.to == fresh.from || IsLive(fresh)) continue;
+        Emit(GraphUpdate::Insert(fresh.from, fresh.to, fresh.label), &out);
+        AddLive(fresh);
+        emitted = true;
+      }
+      // All attempts collided (tiny dense graphs): fall through to a
+      // decay step below so the stream always makes progress.
+      if (emitted) {
+        MaybeDuplicate(&out);
+        continue;
+      }
+    }
+
+    if (want_drift && !live_.empty() && edge_labels_.size() > 1) {
+      size_t index = static_cast<size_t>(rng_.Index(live_.size()));
+      EdgeTriple edge = live_[index];
+      // Pick a different label; with >= 2 distinct labels a bounded
+      // rescan always terminates.
+      LabelId relabeled = edge.label;
+      while (relabeled == edge.label) {
+        relabeled = edge_labels_[static_cast<size_t>(
+            rng_.Index(edge_labels_.size()))];
+      }
+      EdgeTriple drifted{edge.from, edge.to, relabeled};
+      if (!IsLive(drifted)) {
+        Emit(GraphUpdate::Delete(edge.from, edge.to, edge.label), &out);
+        RemoveLive(index);
+        Emit(GraphUpdate::Insert(drifted.from, drifted.to, drifted.label),
+             &out);
+        AddLive(drifted);
+        MaybeDuplicate(&out);
+        continue;
+      }
+      // Drifted triple already live: degrade to plain decay.
+    }
+
+    if (!live_.empty()) {
+      size_t index = static_cast<size_t>(rng_.Index(live_.size()));
+      EdgeTriple edge = live_[index];
+      Emit(GraphUpdate::Delete(edge.from, edge.to, edge.label), &out);
+      RemoveLive(index);
+      MaybeDuplicate(&out);
+    }
+  }
+  return out;
+}
+
+}  // namespace gen
+}  // namespace osq

@@ -1,0 +1,94 @@
+// Churn stream generator — the write-side counterpart of scenarios.h.
+//
+// ChurnStream turns a static scenario graph into a deterministic stream
+// of GraphUpdates mimicking how the paper's datasets actually move:
+//
+//   * GROWTH (Flickr-like): new relationships attach the way existing
+//     ones do.  A growth step copies the wiring of a random live edge —
+//     source u keeps its relation label l but gains a new target drawn
+//     from the targets other l-labeled edges point at (copy-model
+//     densification, preserving the label-degree correlations the
+//     candidate index keys on).
+//   * DRIFT (CrossDomain-like): entity relations get re-typed as
+//     federated sources re-export them.  A drift step deletes a live
+//     edge and re-adds the same endpoint pair under a different edge
+//     label — graph shape constant, label distribution moving.
+//   * DECAY: plain deletion of a live edge.
+//   * DUPLICATES: with probability duplicate_fraction, the previous
+//     update is re-emitted verbatim — modeling at-least-once delivery
+//     from an upstream queue.  Duplicates are guaranteed no-ops under the
+//     engine's skip semantics and are what the ingest pipeline's
+//     coalescing exists to absorb.
+//
+// The stream tracks the live edge set, so deletes always target existing
+// edges and growth inserts are fresh; replaying history() in order
+// through plain Graph::AddEdge/RemoveEdge (skipping no-ops) on a copy of
+// the seed graph reproduces the final graph exactly — the property the
+// ingest differential oracle (tests/ingest_differential_test.cc) checks
+// end to end against the serving tiers.
+
+#ifndef OSQ_GEN_CHURN_H_
+#define OSQ_GEN_CHURN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/index_maintenance.h"
+#include "graph/graph.h"
+
+namespace osq {
+namespace gen {
+
+struct ChurnParams {
+  uint64_t seed = 17;
+  // Op mix; growth + drift + decay should sum to 1 (decay is implicit:
+  // whatever growth and drift leave).  A drift step emits TWO updates
+  // (delete + relabeled insert).
+  double growth_fraction = 0.5;
+  double drift_fraction = 0.3;
+  // Probability of re-emitting the previous update verbatim (appended on
+  // top of the mix above; does not consume a step).
+  double duplicate_fraction = 0.15;
+};
+
+class ChurnStream {
+ public:
+  // Seeds the live-edge state from `g` (borrowed only during
+  // construction).  The stream needs >= 1 live edge and >= 1 edge label.
+  ChurnStream(const Graph& g, const ChurnParams& params);
+
+  // Generates the next `steps` churn steps (>= steps updates: drift emits
+  // two, duplicates ride along).  Deterministic in (graph, params).
+  std::vector<GraphUpdate> Next(size_t steps);
+
+  // Every update ever emitted, in order — the offline replay script.
+  const std::vector<GraphUpdate>& history() const { return history_; }
+
+  size_t live_edges() const { return live_.size(); }
+
+ private:
+  void Emit(const GraphUpdate& update, std::vector<GraphUpdate>* out);
+  // At-least-once delivery model: re-emit the previous update verbatim
+  // with probability duplicate_fraction (a guaranteed no-op at apply).
+  void MaybeDuplicate(std::vector<GraphUpdate>* out);
+  void AddLive(const EdgeTriple& e);
+  void RemoveLive(size_t index);
+  bool IsLive(const EdgeTriple& e) const;
+
+  ChurnParams params_;
+  Rng rng_;
+  std::vector<EdgeTriple> live_;
+  // Triple -> index into live_, maintained with swap-with-back removal.
+  std::map<std::tuple<NodeId, NodeId, LabelId>, size_t> live_index_;
+  // Distinct edge labels seen in the seed graph (drift targets).
+  std::vector<LabelId> edge_labels_;
+  std::vector<GraphUpdate> history_;
+};
+
+}  // namespace gen
+}  // namespace osq
+
+#endif  // OSQ_GEN_CHURN_H_

@@ -1,0 +1,66 @@
+// UpdateSink — the ingest pipeline's application boundary.
+//
+// IngestPipeline (ingest_pipeline.h) batches a stream of GraphUpdates and
+// hands each batch to an UpdateSink, which must apply it ATOMICALLY with
+// respect to concurrent readers: one ApplyBatch call is one snapshot cut.
+// Both serving tiers already provide exactly that contract through their
+// ApplyUpdates entry points (exclusive snapshot lock, one version advance
+// per batch), so the adapters here are thin non-owning wrappers.  The
+// indirection keeps src/ingest/ free of a hard dependency on the sharded
+// tier and gives tests a seam for counting/faulting batch applications.
+
+#ifndef OSQ_INGEST_UPDATE_SINK_H_
+#define OSQ_INGEST_UPDATE_SINK_H_
+
+#include <vector>
+
+#include "core/index_maintenance.h"
+#include "serve/query_service.h"
+#include "shard/sharded_query_service.h"
+
+namespace osq {
+
+class UpdateSink {
+ public:
+  virtual ~UpdateSink() = default;
+
+  // Applies `batch` as one atomic snapshot cut.  Must be safe to call
+  // concurrently with the sink's readers (the pipeline serializes its own
+  // ApplyBatch calls — at most one is in flight at a time).
+  virtual MaintenanceStats ApplyBatch(
+      const std::vector<GraphUpdate>& batch) = 0;
+};
+
+// Sink over the single-engine serving tier.  Does not own the service.
+class QueryServiceSink final : public UpdateSink {
+ public:
+  explicit QueryServiceSink(QueryService* service) : service_(service) {}
+
+  MaintenanceStats ApplyBatch(
+      const std::vector<GraphUpdate>& batch) override {
+    return service_->ApplyUpdates(batch);
+  }
+
+ private:
+  QueryService* service_;
+};
+
+// Sink over the sharded coordinator: the batch is router-split per shard
+// and still applied under one exclusive section = one consistent cut.
+class ShardedServiceSink final : public UpdateSink {
+ public:
+  explicit ShardedServiceSink(ShardedQueryService* service)
+      : service_(service) {}
+
+  MaintenanceStats ApplyBatch(
+      const std::vector<GraphUpdate>& batch) override {
+    return service_->ApplyUpdates(batch);
+  }
+
+ private:
+  ShardedQueryService* service_;
+};
+
+}  // namespace osq
+
+#endif  // OSQ_INGEST_UPDATE_SINK_H_

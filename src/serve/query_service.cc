@@ -9,14 +9,6 @@
 
 namespace osq {
 
-namespace {
-
-uint64_t TenthUs(double us) {
-  return us > 0.0 ? static_cast<uint64_t>(us * 10.0) : 0;
-}
-
-}  // namespace
-
 QueryService::QueryService(QueryEngine engine, const ServeOptions& options)
     : options_(options),
       engine_(std::move(engine)),
@@ -57,10 +49,23 @@ ServedResult QueryService::Query(const Graph& query,
   std::string key = QuerySignature(query, effective);
 
   WallTimer wait;
+  // Burst classification: sample the writer gauge on arrival and again
+  // after acquiring the shared lock, so a read that either waited behind a
+  // writer or ran concurrently with one lands in the burst latency split.
+  bool write_burst =
+      writers_pending_.load(std::memory_order_relaxed) > 0;
+  {
+    // Write-intent gate (see query_service.h): acquiring and immediately
+    // releasing the gate stalls this reader behind any writer that holds
+    // it, which is what bounds the writer's wait.
+    std::scoped_lock<std::mutex> gate(writer_gate_);
+  }
   std::shared_lock<std::shared_mutex> lock(mu_);
   served.wait_us = wait.ElapsedMicros();
-  read_wait_tenth_us_.fetch_add(TenthUs(served.wait_us),
+  read_wait_tenth_us_.fetch_add(ToTenthUs(served.wait_us),
                                 std::memory_order_relaxed);
+  write_burst = write_burst ||
+                writers_pending_.load(std::memory_order_relaxed) > 0;
   // Stable while the shared lock is held: writers bump it only under the
   // exclusive lock.
   served.version = version_.load(std::memory_order_relaxed);
@@ -110,7 +115,15 @@ ServedResult QueryService::Query(const Graph& query,
       degraded_latency_.Record(served.serve_us);
     }
   }
+  if (write_burst) burst_read_latency_.Record(served.serve_us);
   return served;
+}
+
+void QueryService::AdvanceVersionLocked() {
+  uint64_t v = version_.load(std::memory_order_relaxed) + 1;
+  version_.store(v, std::memory_order_release);
+  invalidations_.fetch_add(cache_.Invalidate(VersionVector::Scalar(v)),
+                           std::memory_order_relaxed);
 }
 
 void QueryService::FinishWriteLocked(size_t applied, size_t skipped) {
@@ -118,43 +131,68 @@ void QueryService::FinishWriteLocked(size_t applied, size_t skipped) {
   (void)skipped;
   if (applied == 0) return;  // no-op batch: snapshot unchanged
   updates_applied_.fetch_add(applied, std::memory_order_relaxed);
-  uint64_t v = version_.load(std::memory_order_relaxed) + 1;
-  version_.store(v, std::memory_order_release);
-  invalidations_.fetch_add(cache_.Invalidate(VersionVector::Scalar(v)),
-                           std::memory_order_relaxed);
+  AdvanceVersionLocked();
+}
+
+void QueryService::FinishNodeAddLocked() {
+  update_batches_.fetch_add(1, std::memory_order_relaxed);
+  nodes_added_.fetch_add(1, std::memory_order_relaxed);
+  // A new node is observable (a single-node query can match it), and the
+  // cache's version stamp is a single scalar covering the whole snapshot,
+  // so the add must advance the version — which necessarily invalidates
+  // every cached entry (result_cache.h requires exact stamp equality).
+  // That full sweep is the correct price: any cached single-node query
+  // could now have an additional match.
+  AdvanceVersionLocked();
 }
 
 bool QueryService::ApplyUpdate(const GraphUpdate& update,
                                MaintenanceStats* stats) {
   WallTimer wait;
+  writers_pending_.fetch_add(1, std::memory_order_relaxed);
+  GaugeDecrementGuard pending(writers_pending_);
+  std::scoped_lock<std::mutex> gate(writer_gate_);
   std::unique_lock<std::shared_mutex> lock(mu_);
-  write_wait_tenth_us_.fetch_add(TenthUs(wait.ElapsedMicros()),
+  write_wait_tenth_us_.fetch_add(ToTenthUs(wait.ElapsedMicros()),
                                  std::memory_order_relaxed);
+  WallTimer apply;
   bool applied = engine_.ApplyUpdate(update, stats);
   FinishWriteLocked(applied ? 1 : 0, applied ? 0 : 1);
+  write_apply_tenth_us_.fetch_add(ToTenthUs(apply.ElapsedMicros()),
+                                  std::memory_order_relaxed);
   return applied;
 }
 
 MaintenanceStats QueryService::ApplyUpdates(
     const std::vector<GraphUpdate>& updates) {
   WallTimer wait;
+  writers_pending_.fetch_add(1, std::memory_order_relaxed);
+  GaugeDecrementGuard pending(writers_pending_);
+  std::scoped_lock<std::mutex> gate(writer_gate_);
   std::unique_lock<std::shared_mutex> lock(mu_);
-  write_wait_tenth_us_.fetch_add(TenthUs(wait.ElapsedMicros()),
+  write_wait_tenth_us_.fetch_add(ToTenthUs(wait.ElapsedMicros()),
                                  std::memory_order_relaxed);
+  WallTimer apply;
   MaintenanceStats stats = engine_.ApplyUpdates(updates);
   FinishWriteLocked(stats.applied, stats.skipped);
+  write_apply_tenth_us_.fetch_add(ToTenthUs(apply.ElapsedMicros()),
+                                  std::memory_order_relaxed);
   return stats;
 }
 
 NodeId QueryService::AddNode(LabelId label) {
   WallTimer wait;
+  writers_pending_.fetch_add(1, std::memory_order_relaxed);
+  GaugeDecrementGuard pending(writers_pending_);
+  std::scoped_lock<std::mutex> gate(writer_gate_);
   std::unique_lock<std::shared_mutex> lock(mu_);
-  write_wait_tenth_us_.fetch_add(TenthUs(wait.ElapsedMicros()),
+  write_wait_tenth_us_.fetch_add(ToTenthUs(wait.ElapsedMicros()),
                                  std::memory_order_relaxed);
+  WallTimer apply;
   NodeId id = engine_.AddNode(label);
-  // A new node is observable (a single-node query can match it), so it
-  // advances the snapshot like any other applied update.
-  FinishWriteLocked(1, 0);
+  FinishNodeAddLocked();
+  write_apply_tenth_us_.fetch_add(ToTenthUs(apply.ElapsedMicros()),
+                                  std::memory_order_relaxed);
   return id;
 }
 
@@ -175,6 +213,7 @@ ServeStats QueryService::Stats() const {
                           cache_.stale_drops();
   s.update_batches = update_batches_.load(std::memory_order_relaxed);
   s.updates_applied = updates_applied_.load(std::memory_order_relaxed);
+  s.nodes_added = nodes_added_.load(std::memory_order_relaxed);
   s.version = version_.load(std::memory_order_acquire);
   s.read_wait_us =
       static_cast<double>(
@@ -184,9 +223,14 @@ ServeStats QueryService::Stats() const {
       static_cast<double>(
           write_wait_tenth_us_.load(std::memory_order_relaxed)) /
       10.0;
+  s.write_apply_us =
+      static_cast<double>(
+          write_apply_tenth_us_.load(std::memory_order_relaxed)) /
+      10.0;
   s.hit_latency = hit_latency_.Summarize();
   s.miss_latency = miss_latency_.Summarize();
   s.degraded_latency = degraded_latency_.Summarize();
+  s.burst_read_latency = burst_read_latency_.Summarize();
   return s;
 }
 

@@ -11,6 +11,16 @@
 //   * Writers hold it exclusively; each mutating call that changes the
 //     graph advances the snapshot version by one ("one batch = one
 //     version"), making pre/post states of a batch distinguishable.
+//   * Writer fairness: glibc's shared_mutex prefers readers, so a stream
+//     of closed-loop readers can keep the shared side continuously held
+//     and starve a writer indefinitely.  A write-intent gate (a plain
+//     mutex) bounds the writer's wait: writers take the gate first and
+//     hold it across the exclusive acquisition, while every reader
+//     briefly passes through the gate before taking the shared lock.
+//     Once a writer owns the gate no NEW reader can reach the shared
+//     lock, so the writer waits only for the readers already past the
+//     gate to drain — bounded by in-flight query latency, independent of
+//     read arrival rate.
 //   * Results are memoized in a versioned LRU cache (serve/result_cache.h)
 //     keyed by the canonical query signature.  An entry is served only if
 //     its version stamp equals the version the reader observes under the
@@ -36,6 +46,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <shared_mutex>
 #include <vector>
 
@@ -110,12 +121,20 @@ class QueryService {
   const QueryEngine& engine_unsynchronized() const { return engine_; }
 
  private:
-  // Bookkeeping shared by the three mutating entry points; called with
-  // `mu_` held exclusively.  `applied` is the number of edge updates (or
-  // node additions) that actually changed the graph.
+  // Bookkeeping shared by the mutating entry points; called with `mu_`
+  // held exclusively.  `applied` counts edge updates that actually changed
+  // the graph; node additions go through FinishNodeAddLocked so the
+  // edge-churn and node-growth metrics stay separable.
   void FinishWriteLocked(size_t applied, size_t skipped);
+  void FinishNodeAddLocked();
+  // Advances the snapshot version and sweeps the result cache; shared
+  // tail of the two Finish* paths.
+  void AdvanceVersionLocked();
 
   ServeOptions options_;
+  // Write-intent gate: see the fairness note in the class comment.
+  // Ordering is always gate THEN mu_; readers never hold both.
+  std::mutex writer_gate_;
   mutable std::shared_mutex mu_;  // guards engine_ (readers shared)
   QueryEngine engine_;
   std::atomic<uint64_t> version_{0};
@@ -123,6 +142,10 @@ class QueryService {
 
   // Admission gauge: queries past the shed check and not yet finished.
   std::atomic<size_t> inflight_{0};
+  // Writers pending or writing: incremented before a writer queues on the
+  // gate, decremented after its locks release.  Readers sample it to
+  // classify themselves into the write-burst latency split.
+  std::atomic<uint64_t> writers_pending_{0};
 
   // Counters (relaxed; see serve_stats.h for the rationale).
   std::atomic<uint64_t> queries_{0};
@@ -136,11 +159,14 @@ class QueryService {
   std::atomic<uint64_t> invalidations_{0};
   std::atomic<uint64_t> update_batches_{0};
   std::atomic<uint64_t> updates_applied_{0};
+  std::atomic<uint64_t> nodes_added_{0};
   std::atomic<uint64_t> read_wait_tenth_us_{0};
   std::atomic<uint64_t> write_wait_tenth_us_{0};
+  std::atomic<uint64_t> write_apply_tenth_us_{0};
   LatencyHistogram hit_latency_;
   LatencyHistogram miss_latency_;
   LatencyHistogram degraded_latency_;
+  LatencyHistogram burst_read_latency_;
 };
 
 }  // namespace osq

@@ -28,7 +28,7 @@ void LatencyHistogram::Record(double us) {
   if (us < 0.0) us = 0.0;
   buckets_[BucketOf(us)].fetch_add(1, std::memory_order_relaxed);
   count_.fetch_add(1, std::memory_order_relaxed);
-  uint64_t tenths = static_cast<uint64_t>(us * 10.0);
+  uint64_t tenths = ToTenthUs(us);
   total_tenth_us_.fetch_add(tenths, std::memory_order_relaxed);
   uint64_t seen = max_tenth_us_.load(std::memory_order_relaxed);
   while (tenths > seen &&
@@ -109,30 +109,46 @@ std::string ServeStats::ToString() const {
   out.append(line);
   std::snprintf(line, sizeof(line),
                 "completion: %llu complete, %llu deadline_exceeded, "
-                "%llu cancelled, %llu shard_unavailable, %llu shed\n",
+                "%llu cancelled, %llu shard_unavailable, %llu shed "
+                "(%llu total requests)\n",
                 static_cast<unsigned long long>(complete),
                 static_cast<unsigned long long>(deadline_exceeded),
                 static_cast<unsigned long long>(cancelled),
                 static_cast<unsigned long long>(shard_unavailable),
-                static_cast<unsigned long long>(shed));
+                static_cast<unsigned long long>(shed),
+                static_cast<unsigned long long>(total_requests()));
   out.append(line);
   std::snprintf(line, sizeof(line),
-                "cache: %llu evictions, %llu invalidations\n",
+                "cache: %llu evictions, %llu invalidations "
+                "(%.2f per batch)\n",
                 static_cast<unsigned long long>(cache_evictions),
-                static_cast<unsigned long long>(cache_invalidations));
+                static_cast<unsigned long long>(cache_invalidations),
+                cache_invalidation_rate());
   out.append(line);
   std::snprintf(line, sizeof(line),
-                "updates: %llu batches, %llu applied\n",
+                "updates: %llu batches, %llu applied, %llu nodes added\n",
                 static_cast<unsigned long long>(update_batches),
-                static_cast<unsigned long long>(updates_applied));
+                static_cast<unsigned long long>(updates_applied),
+                static_cast<unsigned long long>(nodes_added));
   out.append(line);
+  if (ingest_backlog > 0 || ingest_applied_lag_ms > 0.0 ||
+      ingest_coalescing_ratio > 0.0) {
+    std::snprintf(line, sizeof(line),
+                  "ingest: backlog %llu, applied lag %.2fms, "
+                  "coalescing %.2f updates/batch\n",
+                  static_cast<unsigned long long>(ingest_backlog),
+                  ingest_applied_lag_ms, ingest_coalescing_ratio);
+    out.append(line);
+  }
   std::snprintf(line, sizeof(line),
-                "waits: read %.1fus total, write %.1fus total\n",
-                read_wait_us, write_wait_us);
+                "waits: read %.1fus total, write %.1fus total "
+                "(apply %.1fus in-lock)\n",
+                read_wait_us, write_wait_us, write_apply_us);
   out.append(line);
   AppendLatency(&out, "hit", hit_latency);
   AppendLatency(&out, "miss", miss_latency);
   AppendLatency(&out, "degr", degraded_latency);
+  AppendLatency(&out, "burst", burst_read_latency);
   return out;
 }
 

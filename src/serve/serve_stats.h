@@ -18,6 +18,16 @@
 
 namespace osq {
 
+// Converts a microsecond duration to 0.1 us ticks, rounding to nearest.
+// Counters accumulate ticks rather than floating-point sums so relaxed
+// fetch_add stays exact; rounding (not truncation) keeps the expected
+// value of the sum equal to the sum of the expected values — with
+// truncation, sub-0.1 us lock waits accumulate to zero and wait totals
+// systematically undercount under high QPS.
+inline uint64_t ToTenthUs(double us) {
+  return us > 0.0 ? static_cast<uint64_t>(us * 10.0 + 0.5) : 0;
+}
+
 // Percentile summary of one latency population, microseconds.
 struct LatencySummary {
   uint64_t count = 0;
@@ -29,6 +39,19 @@ struct LatencySummary {
 };
 
 // A point-in-time snapshot of a QueryService's counters.
+//
+// Accounting invariant (pinned by serve_stats_test):
+//
+//   queries == cache_hits + cache_misses
+//   queries == complete + deadline_exceeded + cancelled + shard_unavailable
+//   total_requests() == queries + shed
+//
+// `queries` counts requests that were ADMITTED — they reached the cache or
+// the engine and recorded a latency sample (hit_latency.count +
+// miss_latency.count + degraded_latency.count == queries).  Shed requests
+// were rejected at admission before touching the lock, cache, or engine:
+// they are counted only in `shed`, record no latency, and are visible in
+// the end-to-end request total exclusively via total_requests().
 struct ServeStats {
   // Requests served, split by how they were answered.
   uint64_t queries = 0;
@@ -51,21 +74,58 @@ struct ServeStats {
   uint64_t cache_evictions = 0;
   uint64_t cache_invalidations = 0;
   // Mutations: one batch per ApplyUpdate/ApplyUpdates/AddNode call that
-  // changed the graph; applied counts individual edge updates.
+  // changed the graph.  `updates_applied` counts individual EDGE updates
+  // only; node additions are tracked separately in `nodes_added` (both
+  // advance the snapshot version — a single-node query can match a fresh
+  // node — but conflating them would misstate the edge-churn rate).
   uint64_t update_batches = 0;
   uint64_t updates_applied = 0;
+  uint64_t nodes_added = 0;
   // Snapshot version at snapshot time (monotone, bumped per batch).
   uint64_t version = 0;
   // Total time requests spent waiting to acquire the reader (resp. writer)
   // side of the snapshot lock, microseconds.
   double read_wait_us = 0.0;
   double write_wait_us = 0.0;
+  // Total time writers spent doing maintenance work INSIDE the exclusive
+  // lock (graph mutation + incremental index repair + cache sweep),
+  // microseconds.  write_apply_us / update_batches is the online
+  // maintenance cost per snapshot cut — the measured form of the paper's
+  // incremental-vs-recompute claim; write_wait_us is serving contention,
+  // deliberately excluded.
+  double write_apply_us = 0.0;
+  // Live-ingest observability, filled by IngestPipeline::AugmentServeStats
+  // (src/ingest/ingest_pipeline.h); zero for a service without a pipeline.
+  // backlog = updates accepted but not yet applied (gauge); applied_lag =
+  // age of the oldest update in the most recently applied batch at the
+  // moment it became visible (gauge); coalescing ratio = updates absorbed
+  // per snapshot cut (submitted that retired / batches).
+  uint64_t ingest_backlog = 0;
+  double ingest_applied_lag_ms = 0.0;
+  double ingest_coalescing_ratio = 0.0;
+
   // End-to-end service latency (lock wait + cache probe + engine), split
   // by completion status: cache hits, complete cold evaluations, and
   // degraded (deadline_exceeded / cancelled) evaluations.
   LatencySummary hit_latency;
   LatencySummary miss_latency;
   LatencySummary degraded_latency;
+  // Subset of admitted reads that overlapped a write burst — a writer was
+  // pending or in progress when the read arrived or when it acquired the
+  // shared lock.  Every such read is ALSO in exactly one of the three
+  // populations above; this split shows how p99 degrades under writes.
+  LatencySummary burst_read_latency;
+
+  // All requests that entered the service, admitted or not.
+  uint64_t total_requests() const { return queries + shed; }
+
+  // Cache invalidations per mutating batch (staleness pressure on the
+  // result cache); 0 when no batch has been applied.
+  double cache_invalidation_rate() const {
+    return update_batches > 0 ? static_cast<double>(cache_invalidations) /
+                                    static_cast<double>(update_batches)
+                              : 0.0;
+  }
 
   // Multi-line human-readable rendering for CLI / bench output.
   std::string ToString() const;
@@ -87,6 +147,21 @@ class LatencyHistogram {
   std::atomic<uint64_t> count_{0};
   std::atomic<uint64_t> total_tenth_us_{0};  // sum in 0.1 us ticks
   std::atomic<uint64_t> max_tenth_us_{0};
+};
+
+// RAII decrement of a relaxed gauge; the increment is the caller's.  Used
+// by the serving layers to keep "writers pending or writing" gauges exact
+// across every early return.
+class GaugeDecrementGuard {
+ public:
+  explicit GaugeDecrementGuard(std::atomic<uint64_t>& gauge)
+      : gauge_(gauge) {}
+  ~GaugeDecrementGuard() { gauge_.fetch_sub(1, std::memory_order_relaxed); }
+  GaugeDecrementGuard(const GaugeDecrementGuard&) = delete;
+  GaugeDecrementGuard& operator=(const GaugeDecrementGuard&) = delete;
+
+ private:
+  std::atomic<uint64_t>& gauge_;
 };
 
 }  // namespace osq

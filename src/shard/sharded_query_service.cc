@@ -15,10 +15,6 @@ namespace osq {
 
 namespace {
 
-uint64_t TenthUs(double us) {
-  return us > 0.0 ? static_cast<uint64_t>(us * 10.0) : 0;
-}
-
 void MergeShardStats(const QueryResult& from, QueryResult* into) {
   into->filter_stats.initial_blocks += from.filter_stats.initial_blocks;
   into->filter_stats.pruned_blocks += from.filter_stats.pruned_blocks;
@@ -199,10 +195,18 @@ ShardedServedResult ShardedQueryService::Query(const Graph& query,
   std::string key = QuerySignature(query, effective);
 
   WallTimer wait;
+  // Burst classification + write-intent gate, identical to QueryService.
+  bool write_burst =
+      writers_pending_.load(std::memory_order_relaxed) > 0;
+  {
+    std::scoped_lock<std::mutex> gate(writer_gate_);
+  }
   std::shared_lock<std::shared_mutex> lock(mu_);
   served.wait_us = wait.ElapsedMicros();
-  read_wait_tenth_us_.fetch_add(TenthUs(served.wait_us),
+  read_wait_tenth_us_.fetch_add(ToTenthUs(served.wait_us),
                                 std::memory_order_relaxed);
+  write_burst = write_burst ||
+                writers_pending_.load(std::memory_order_relaxed) > 0;
   served.version = CurrentVersionLocked();
 
   if (cache_.Lookup(key, served.version, &served.result)) {
@@ -247,6 +251,7 @@ ShardedServedResult ShardedQueryService::Query(const Graph& query,
       degraded_latency_.Record(served.serve_us);
     }
   }
+  if (write_burst) burst_read_latency_.Record(served.serve_us);
   return served;
 }
 
@@ -266,32 +271,56 @@ void ShardedQueryService::ApplyDeltasLocked(
   }
 }
 
-void ShardedQueryService::FinishWriteLocked(size_t applied) {
-  update_batches_.fetch_add(1, std::memory_order_relaxed);
-  if (applied == 0) return;  // no-op batch: snapshot cut unchanged
-  updates_applied_.fetch_add(applied, std::memory_order_relaxed);
+void ShardedQueryService::InvalidateCacheLocked() {
   invalidations_.fetch_add(cache_.Invalidate(CurrentVersionLocked()),
                            std::memory_order_relaxed);
 }
 
+void ShardedQueryService::FinishWriteLocked(size_t applied) {
+  update_batches_.fetch_add(1, std::memory_order_relaxed);
+  if (applied == 0) return;  // no-op batch: snapshot cut unchanged
+  updates_applied_.fetch_add(applied, std::memory_order_relaxed);
+  InvalidateCacheLocked();
+}
+
+void ShardedQueryService::FinishNodeAddLocked() {
+  update_batches_.fetch_add(1, std::memory_order_relaxed);
+  nodes_added_.fetch_add(1, std::memory_order_relaxed);
+  // Node adds advance the owning shard's version component, so the full
+  // vector stamp moves and every cached entry is necessarily stale (see
+  // QueryService::FinishNodeAddLocked for the single-scalar argument; the
+  // vector case is identical per component).
+  InvalidateCacheLocked();
+}
+
 bool ShardedQueryService::ApplyUpdate(const GraphUpdate& update) {
   WallTimer wait;
+  writers_pending_.fetch_add(1, std::memory_order_relaxed);
+  GaugeDecrementGuard pending(writers_pending_);
+  std::scoped_lock<std::mutex> gate(writer_gate_);
   std::unique_lock<std::shared_mutex> lock(mu_);
-  write_wait_tenth_us_.fetch_add(TenthUs(wait.ElapsedMicros()),
+  write_wait_tenth_us_.fetch_add(ToTenthUs(wait.ElapsedMicros()),
                                  std::memory_order_relaxed);
+  WallTimer apply;
   bool applied = false;
   std::vector<ShardDelta> deltas = router_.Route(update, &applied);
   ApplyDeltasLocked(deltas);
   FinishWriteLocked(applied ? 1 : 0);
+  write_apply_tenth_us_.fetch_add(ToTenthUs(apply.ElapsedMicros()),
+                                  std::memory_order_relaxed);
   return applied;
 }
 
 MaintenanceStats ShardedQueryService::ApplyUpdates(
     const std::vector<GraphUpdate>& updates) {
   WallTimer wait;
+  writers_pending_.fetch_add(1, std::memory_order_relaxed);
+  GaugeDecrementGuard pending(writers_pending_);
+  std::scoped_lock<std::mutex> gate(writer_gate_);
   std::unique_lock<std::shared_mutex> lock(mu_);
-  write_wait_tenth_us_.fetch_add(TenthUs(wait.ElapsedMicros()),
+  write_wait_tenth_us_.fetch_add(ToTenthUs(wait.ElapsedMicros()),
                                  std::memory_order_relaxed);
+  WallTimer apply;
   MaintenanceStats stats;
   for (const GraphUpdate& update : updates) {
     bool applied = false;
@@ -304,18 +333,26 @@ MaintenanceStats ShardedQueryService::ApplyUpdates(
     }
   }
   FinishWriteLocked(stats.applied);
+  write_apply_tenth_us_.fetch_add(ToTenthUs(apply.ElapsedMicros()),
+                                  std::memory_order_relaxed);
   return stats;
 }
 
 NodeId ShardedQueryService::AddNode(LabelId label) {
   WallTimer wait;
+  writers_pending_.fetch_add(1, std::memory_order_relaxed);
+  GaugeDecrementGuard pending(writers_pending_);
+  std::scoped_lock<std::mutex> gate(writer_gate_);
   std::unique_lock<std::shared_mutex> lock(mu_);
-  write_wait_tenth_us_.fetch_add(TenthUs(wait.ElapsedMicros()),
+  write_wait_tenth_us_.fetch_add(ToTenthUs(wait.ElapsedMicros()),
                                  std::memory_order_relaxed);
+  WallTimer apply;
   NodeId global = kInvalidNode;
   std::vector<ShardDelta> deltas = router_.RouteAddNode(label, &global);
   ApplyDeltasLocked(deltas);
-  FinishWriteLocked(1);
+  FinishNodeAddLocked();
+  write_apply_tenth_us_.fetch_add(ToTenthUs(apply.ElapsedMicros()),
+                                  std::memory_order_relaxed);
   return global;
 }
 
@@ -339,6 +376,7 @@ ServeStats ShardedQueryService::Stats() const {
                           cache_.stale_drops();
   s.update_batches = update_batches_.load(std::memory_order_relaxed);
   s.updates_applied = updates_applied_.load(std::memory_order_relaxed);
+  s.nodes_added = nodes_added_.load(std::memory_order_relaxed);
   // ServeStats carries one scalar version; report the vector's component
   // sum (total applied batches across shards).
   for (uint64_t component : version().v) s.version += component;
@@ -350,9 +388,14 @@ ServeStats ShardedQueryService::Stats() const {
       static_cast<double>(
           write_wait_tenth_us_.load(std::memory_order_relaxed)) /
       10.0;
+  s.write_apply_us =
+      static_cast<double>(
+          write_apply_tenth_us_.load(std::memory_order_relaxed)) /
+      10.0;
   s.hit_latency = hit_latency_.Summarize();
   s.miss_latency = miss_latency_.Summarize();
   s.degraded_latency = degraded_latency_.Summarize();
+  s.burst_read_latency = burst_read_latency_.Summarize();
   return s;
 }
 

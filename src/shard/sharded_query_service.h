@@ -18,6 +18,11 @@
 // cache stamps entries with the full vector — one stale shard component
 // invalidates the entry (serve/result_cache.h).
 //
+// Writer fairness mirrors serve/query_service.h: a write-intent gate (a
+// plain mutex writers hold across the exclusive acquisition and readers
+// briefly pass through) bounds a routed batch's wait to the drain time of
+// already-admitted readers, regardless of read arrival rate.
+//
 // Degradation: the service-level deadline propagates to every shard; the
 // first shard to exceed it cancels its siblings (their results come back
 // remapped to deadline_exceeded, not cancelled, since the caller never
@@ -34,6 +39,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <shared_mutex>
 #include <vector>
 
@@ -121,11 +127,15 @@ class ShardedQueryService {
   VersionVector CurrentVersionLocked() const;
   void ApplyDeltasLocked(const std::vector<ShardDelta>& deltas);
   void FinishWriteLocked(size_t applied);
+  void FinishNodeAddLocked();
+  void InvalidateCacheLocked();
   QueryResult ScatterGather(const Graph& query, const QueryOptions& options,
                             size_t* shards_failed);
 
   ShardOptions shard_options_;
   ServeOptions options_;
+  // Write-intent gate; ordering is always gate THEN mu_ (see class note).
+  std::mutex writer_gate_;
   mutable std::shared_mutex mu_;  // guards shards_ + router_ (readers shared)
   std::vector<ShardEngine> shards_;
   UpdateRouter router_;
@@ -133,6 +143,8 @@ class ShardedQueryService {
   ShardFaultHook fault_hook_;
 
   std::atomic<size_t> inflight_{0};
+  // Writers pending or writing (burst classification; see query_service.h).
+  std::atomic<uint64_t> writers_pending_{0};
 
   // Counters (relaxed; see serve/serve_stats.h for the rationale).
   std::atomic<uint64_t> queries_{0};
@@ -146,11 +158,14 @@ class ShardedQueryService {
   std::atomic<uint64_t> invalidations_{0};
   std::atomic<uint64_t> update_batches_{0};
   std::atomic<uint64_t> updates_applied_{0};
+  std::atomic<uint64_t> nodes_added_{0};
   std::atomic<uint64_t> read_wait_tenth_us_{0};
   std::atomic<uint64_t> write_wait_tenth_us_{0};
+  std::atomic<uint64_t> write_apply_tenth_us_{0};
   LatencyHistogram hit_latency_;
   LatencyHistogram miss_latency_;
   LatencyHistogram degraded_latency_;
+  LatencyHistogram burst_read_latency_;
 };
 
 }  // namespace osq

@@ -1,9 +1,12 @@
 #include "gen/workload.h"
 
 #include <algorithm>
+#include <set>
+#include <tuple>
 
 #include <gtest/gtest.h>
 #include "core/ontology_index.h"
+#include "gen/churn.h"
 #include "gen/query_gen.h"
 #include "gen/scenarios.h"
 #include "gen/synthetic.h"
@@ -257,6 +260,98 @@ TEST(WorkloadTest, CrossDomainWorkloadPopulated) {
       EXPECT_EQ(q.num_nodes(), t.params.num_nodes);
     }
   }
+}
+
+TEST(ChurnStreamTest, DeterministicForSeed) {
+  gen::ScenarioParams p;
+  p.scale = 300;
+  gen::Dataset ds = gen::MakeFlickrLike(p);
+  gen::ChurnParams cp;
+  cp.seed = 23;
+  gen::ChurnStream a(ds.graph, cp);
+  gen::ChurnStream b(ds.graph, cp);
+  (void)a.Next(50);
+  (void)b.Next(30);
+  (void)b.Next(20);  // chunking must not change the stream
+  ASSERT_EQ(a.history().size(), b.history().size());
+  for (size_t i = 0; i < a.history().size(); ++i) {
+    EXPECT_EQ(a.history()[i].kind, b.history()[i].kind);
+    EXPECT_EQ(a.history()[i].edge.from, b.history()[i].edge.from);
+    EXPECT_EQ(a.history()[i].edge.to, b.history()[i].edge.to);
+    EXPECT_EQ(a.history()[i].edge.label, b.history()[i].edge.label);
+  }
+  EXPECT_EQ(a.live_edges(), b.live_edges());
+}
+
+// The replay property the ingest differential oracle builds on: applying
+// history() in order with skip semantics over the seed graph lands on the
+// stream's own live-edge bookkeeping.  Duplicates (and only duplicates)
+// show up as skipped no-ops.
+TEST(ChurnStreamTest, HistoryReplayMatchesLiveSet) {
+  gen::ScenarioParams p;
+  p.scale = 300;
+  gen::Dataset ds = gen::MakeFlickrLike(p);
+  gen::ChurnParams cp;
+  cp.seed = 29;
+  cp.duplicate_fraction = 0.5;  // force plenty of re-deliveries
+  gen::ChurnStream churn(ds.graph, cp);
+  (void)churn.Next(120);
+
+  std::set<std::tuple<NodeId, NodeId, LabelId>> live;
+  for (const EdgeTriple& e : ds.graph.EdgeList()) {
+    live.insert({e.from, e.to, e.label});
+  }
+  size_t skipped = 0;
+  GraphUpdate prev = churn.history().front();
+  bool have_prev = false;
+  for (const GraphUpdate& u : churn.history()) {
+    auto key = std::make_tuple(u.edge.from, u.edge.to, u.edge.label);
+    bool changed = u.kind == GraphUpdate::Kind::kInsertEdge
+                       ? live.insert(key).second
+                       : live.erase(key) > 0;
+    if (!changed) {
+      ++skipped;
+      // Only an exact re-delivery of the previous update may no-op.
+      ASSERT_TRUE(have_prev);
+      EXPECT_EQ(prev.kind, u.kind);
+      EXPECT_EQ(std::make_tuple(prev.edge.from, prev.edge.to,
+                                prev.edge.label),
+                key);
+    }
+    prev = u;
+    have_prev = true;
+  }
+  EXPECT_GT(skipped, 0u);  // duplicate_fraction 0.5 over 120+ updates
+  EXPECT_EQ(live.size(), churn.live_edges());
+}
+
+TEST(ChurnStreamTest, PureDriftKeepsEndpointsAndMovesLabels) {
+  gen::ScenarioParams p;
+  p.scale = 300;
+  gen::Dataset ds = gen::MakeFlickrLike(p);
+  gen::ChurnParams cp;
+  cp.seed = 31;
+  cp.growth_fraction = 0.0;
+  cp.drift_fraction = 1.0;
+  cp.duplicate_fraction = 0.0;
+  gen::ChurnStream churn(ds.graph, cp);
+  std::vector<GraphUpdate> updates = churn.Next(40);
+  ASSERT_FALSE(updates.empty());
+  size_t drift_pairs = 0;
+  for (size_t i = 0; i + 1 < updates.size(); ++i) {
+    if (updates[i].kind != GraphUpdate::Kind::kDeleteEdge ||
+        updates[i + 1].kind != GraphUpdate::Kind::kInsertEdge) {
+      continue;
+    }
+    if (updates[i].edge.from == updates[i + 1].edge.from &&
+        updates[i].edge.to == updates[i + 1].edge.to) {
+      EXPECT_NE(updates[i].edge.label, updates[i + 1].edge.label);
+      ++drift_pairs;
+    }
+  }
+  // All-drift mix: nearly every step re-types an edge in place (a step
+  // degrades to decay only when the drifted triple already exists).
+  EXPECT_GT(drift_pairs, 20u);
 }
 
 TEST(WorkloadTest, FlickrWorkloadPopulated) {

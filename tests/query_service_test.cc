@@ -143,6 +143,48 @@ TEST(QueryServiceTest, AddNodeInvalidates) {
   EXPECT_EQ(after.result.matches.size(), matches_before + 1);
 }
 
+// Vector-stamp audit of AddNode (result_cache.h): the cache stamp is one
+// scalar covering the whole snapshot and Lookup demands exact equality,
+// so a node add MUST advance the version and thereby sweep every entry —
+// any cached single-node query could have gained a match.  What it must
+// NOT do is masquerade as an edge update in the metrics: node-adds and
+// edge-churn are separate counters sharing the batch count.
+TEST(QueryServiceTest, AddNodeSweepsCacheButCountsSeparately) {
+  test::TravelFixture f = test::MakeTravelFixture();
+  Graph query = f.query;
+  NodeId ct = f.ct, hp = f.hp;
+  LabelId fav = f.fav;
+  LabelId starlight = f.dict.Lookup("starlight");
+  QueryService service = MakeTravelService(&f);
+
+  ServedResult cold = service.Query(query, TravelOptions());
+  ASSERT_TRUE(cold.result.status.ok());
+  ASSERT_EQ(service.cache_size(), 1u);
+
+  (void)service.AddNode(starlight);
+  ServeStats stats = service.Stats();
+  EXPECT_EQ(stats.nodes_added, 1u);
+  EXPECT_EQ(stats.updates_applied, 0u);  // no edge changed
+  EXPECT_EQ(stats.update_batches, 1u);
+  EXPECT_EQ(stats.version, 1u);
+  EXPECT_EQ(service.cache_size(), 0u);  // full sweep, by design
+  EXPECT_EQ(stats.cache_invalidations, 1u);
+
+  // The swept entry re-materializes identically: the add cannot have
+  // perturbed the original query's answer.
+  ServedResult warm = service.Query(query, TravelOptions());
+  EXPECT_FALSE(warm.cache_hit);
+  EXPECT_EQ(warm.result.matches, cold.result.matches);
+
+  // An edge update moves the edge counter, not the node counter.
+  ASSERT_TRUE(service.ApplyUpdate(GraphUpdate::Insert(ct, hp, fav)));
+  stats = service.Stats();
+  EXPECT_EQ(stats.nodes_added, 1u);
+  EXPECT_EQ(stats.updates_applied, 1u);
+  EXPECT_EQ(stats.update_batches, 2u);
+  EXPECT_EQ(stats.version, 2u);
+}
+
 TEST(QueryServiceTest, LruEvictionAtCapacity) {
   test::TravelFixture f = test::MakeTravelFixture();
   Graph query = f.query;

@@ -27,6 +27,16 @@
 //            ShardedQueryService: N partitioned engines, merged top-K
 //            bit-identical to a single engine, vector-stamped cache;
 //            requires --graph/--ontology, not --snapshot)
+//   osq_cli ingest-bench --graph g.txt --ontology o.txt --queries q.txt
+//           [--steps 400] [--batch 64] [--linger-ms 2] [--max-pending 8192]
+//           [--churn-seed 1448] [--threads 2] [--deadline-ms 100]
+//           [--theta 0.9] [--k 10] [--cache 256]
+//           [--shards N] [--shard-policy hash|range] [--halo 2]
+//           (stream a churn workload through the live-ingest pipeline —
+//            batched, coalesced, one snapshot cut per batch — while
+//            --threads reader threads serve the patterns closed-loop;
+//            prints pipeline + service stats: backlog, applied lag,
+//            coalescing ratio, in-lock apply cost, burst-read p99)
 //   osq_cli stats    --graph g.txt --ontology o.txt
 //
 // --threads N parallelizes index build and query evaluation over N threads
@@ -60,9 +70,12 @@
 #include "core/index_io.h"
 #include "core/query_engine.h"
 #include "core/snapshot.h"
+#include "gen/churn.h"
 #include "gen/scenarios.h"
 #include "gen/synthetic.h"
 #include "graph/graph_algorithms.h"
+#include "ingest/ingest_pipeline.h"
+#include "ingest/update_sink.h"
 #include "shard/sharded_query_service.h"
 #include "graph/graph_io.h"
 #include "query/pattern_parser.h"
@@ -120,8 +133,8 @@ int Fail(const Status& status) {
 int Usage() {
   std::fprintf(stderr,
                "usage: osq_cli "
-               "<generate|index|snapshot|query|bench|serve-bench|stats> "
-               "[--flags]\n"
+               "<generate|index|snapshot|query|bench|serve-bench|"
+               "ingest-bench|stats> [--flags]\n"
                "see the header of tools/osq_cli.cc for details\n");
   return 1;
 }
@@ -616,6 +629,142 @@ int CmdServeBench(const FlagMap& flags) {
   return 0;
 }
 
+// Shared driver for ingest-bench: a producer thread streams churn updates
+// through an IngestPipeline into `service` (single-engine or sharded, via
+// the matching sink) while reader threads run closed-loop over the
+// patterns.  Prints the pipeline and service stats when the stream drains.
+template <typename Service, typename Sink>
+int RunIngestBench(Service* service, const Graph& seed_graph,
+                   const std::vector<ParsedPattern>& patterns,
+                   const QueryOptions& options, const FlagMap& flags) {
+  size_t threads = GetSize(flags, "threads", 2);
+  if (threads == 0) threads = 1;
+  size_t steps = GetSize(flags, "steps", 400);
+
+  Sink sink(service);
+  IngestOptions io;
+  io.max_batch = GetSize(flags, "batch", io.max_batch);
+  io.max_linger_ms = GetDouble(flags, "linger-ms", io.max_linger_ms);
+  io.max_pending = GetSize(flags, "max-pending", io.max_pending);
+  IngestPipeline pipeline(&sink, io);
+
+  gen::ChurnParams cp;
+  cp.seed = GetSize(flags, "churn-seed", 1448);
+  gen::ChurnStream churn(seed_graph, cp);
+
+  std::atomic<bool> done{false};
+  WallTimer run_timer;
+  RunConcurrently(threads + 1, [&](size_t tid) {
+    if (tid == 0) {
+      const size_t chunk = 25;
+      for (size_t offset = 0; offset < steps; offset += chunk) {
+        size_t n = steps - offset < chunk ? steps - offset : chunk;
+        for (const GraphUpdate& update : churn.Next(n)) {
+          while (!pipeline.Submit(update)) {
+            std::this_thread::sleep_for(std::chrono::microseconds(200));
+          }
+        }
+      }
+      pipeline.Flush();
+      done.store(true, std::memory_order_release);
+      return;
+    }
+    size_t it = 0;
+    while (!done.load(std::memory_order_acquire)) {
+      const Graph& q = patterns[(it + tid * 7) % patterns.size()].query;
+      (void)service->Query(q, options);
+      ++it;
+    }
+  });
+  double run_ms = run_timer.ElapsedMillis();
+  pipeline.Stop();
+
+  IngestStats ingest = pipeline.Stats();
+  ServeStats stats = service->Stats();
+  pipeline.AugmentServeStats(&stats);
+  std::printf("drained %llu updates in %llu batches over %.1f ms wall "
+              "(%.4f ms/batch in-lock apply)\n",
+              static_cast<unsigned long long>(ingest.applied +
+                                              ingest.skipped),
+              static_cast<unsigned long long>(ingest.batches), run_ms,
+              stats.update_batches > 0
+                  ? stats.write_apply_us / 1000.0 /
+                        static_cast<double>(stats.update_batches)
+                  : 0.0);
+  std::fputs(ingest.ToString().c_str(), stdout);
+  std::fputs(stats.ToString().c_str(), stdout);
+  return 0;
+}
+
+int CmdIngestBench(const FlagMap& flags) {
+  gen::Dataset ds;
+  if (int rc = LoadDataset(flags, &ds); rc != 0) return rc;
+  if (ds.graph.num_edges() == 0) {
+    std::fprintf(stderr, "ingest-bench needs a graph with edges\n");
+    return 1;
+  }
+
+  std::string queries_path = GetFlag(flags, "queries", "");
+  if (queries_path.empty()) {
+    std::fprintf(stderr, "ingest-bench needs --queries <patterns file>\n");
+    return 1;
+  }
+  std::vector<ParsedPattern> patterns;
+  Status s = LoadPatternsFromFile(queries_path, &ds.dict, &patterns);
+  if (!s.ok()) return Fail(s);
+  if (patterns.empty()) {
+    std::fprintf(stderr, "no patterns in %s\n", queries_path.c_str());
+    return 1;
+  }
+
+  QueryOptions options;
+  options.theta = GetDouble(flags, "theta", options.theta);
+  options.k = GetSize(flags, "k", options.k);
+
+  ServeOptions serve;
+  serve.cache_capacity = GetSize(flags, "cache", serve.cache_capacity);
+  serve.default_deadline_ms = GetDouble(flags, "deadline-ms", 100.0);
+  serve.max_inflight = GetSize(flags, "max-inflight", 0);
+
+  // The churn stream needs the seed graph after the service takes it.
+  Graph seed_graph = ds.graph;
+
+  if (size_t shards = GetSize(flags, "shards", 0); shards > 0) {
+    ShardOptions shard_options;
+    shard_options.num_shards = shards;
+    std::string policy = GetFlag(flags, "shard-policy", "hash");
+    if (policy == "range") {
+      shard_options.policy = ShardPolicy::kRange;
+    } else if (policy != "hash") {
+      std::fprintf(stderr, "--shard-policy must be hash or range\n");
+      return 1;
+    }
+    shard_options.halo_radius = static_cast<uint32_t>(
+        GetSize(flags, "halo", shard_options.halo_radius));
+    WallTimer startup_timer;
+    ShardedQueryService service(ds.graph, ds.ontology,
+                                IndexOptionsFromFlags(flags),
+                                shard_options, serve);
+    std::printf("%zu shard engines built in %.1f ms; churning under "
+                "%zu reader threads\n",
+                service.num_shards(), startup_timer.ElapsedMillis(),
+                GetSize(flags, "threads", 2));
+    return RunIngestBench<ShardedQueryService, ShardedServiceSink>(
+        &service, seed_graph, patterns, options, flags);
+  }
+
+  WallTimer startup_timer;
+  QueryService service(
+      QueryEngine(std::move(ds.graph), std::move(ds.ontology),
+                  IndexOptionsFromFlags(flags)),
+      serve);
+  std::printf("engine built in %.1f ms; churning under %zu reader "
+              "threads\n",
+              startup_timer.ElapsedMillis(), GetSize(flags, "threads", 2));
+  return RunIngestBench<QueryService, QueryServiceSink>(
+      &service, seed_graph, patterns, options, flags);
+}
+
 int CmdStats(const FlagMap& flags) {
   gen::Dataset ds;
   if (int rc = LoadDataset(flags, &ds); rc != 0) return rc;
@@ -651,6 +800,7 @@ int main(int argc, char** argv) {
   if (command == "query") return CmdQuery(flags);
   if (command == "bench") return CmdBench(flags);
   if (command == "serve-bench") return CmdServeBench(flags);
+  if (command == "ingest-bench") return CmdIngestBench(flags);
   if (command == "stats") return CmdStats(flags);
   return Usage();
 }

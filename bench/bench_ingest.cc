@@ -159,7 +159,7 @@ int Main(int argc, char** argv) {
 
   IngestStats ingest = pipeline.Stats();
   ServeStats stats = service.Stats();
-  pipeline.AugmentServeStats(&stats);
+  AugmentServeStats(pipeline, &stats);
   // Maintenance work inside the exclusive lock, per snapshot cut; the
   // sink's wall time (ingest.apply_ms) additionally contains writer lock
   // wait and is reported as an extra, not used for the claim.

@@ -1,12 +1,19 @@
 #!/usr/bin/env bash
-# Static-analysis gate: osq_lint (custom invariants) + clang-tidy (generic
-# C++ traps, diffed against a tracked baseline) + clang-format --check.
+# Static-analysis gate: osq_lint (custom invariants, including the
+# flow-aware lock-discipline rules of DESIGN.md §15) + clang
+# -Wthread-safety cross-check (when clang is installed) + clang-tidy
+# (generic C++ traps, diffed against a tracked baseline) + clang-format
+# --check.
 #
-#   scripts/lint.sh [build-dir]     default build dir: ./build
+#   scripts/lint.sh [build-dir]         default build dir: ./build
+#   scripts/lint.sh --json [build-dir]  emit osq_lint's machine-readable
+#                                       findings JSON on stdout and exit
+#                                       with its status (CI consumers;
+#                                       the other stages are not run)
 #
 # Exit 0 only when every stage passes.  Stages whose tool is not installed
-# (clang-tidy / clang-format) are reported SKIPPED and do not fail the
-# gate; osq_lint is built from this repo and always runs.
+# (clang++ / clang-tidy / clang-format) are reported SKIPPED and do not
+# fail the gate; osq_lint is built from this repo and always runs.
 #
 # clang-tidy baseline policy: scripts/lint_baseline.txt holds the
 # "file [check]" pairs that predate the gate.  The run fails on any finding
@@ -15,8 +22,22 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+JSON_MODE=0
+if [[ "${1:-}" == "--json" ]]; then
+  JSON_MODE=1
+  shift
+fi
+
 BUILD_DIR="${1:-build}"
 fail=0
+
+if [[ $JSON_MODE -eq 1 ]]; then
+  if [[ ! -x "$BUILD_DIR/tools/osq_lint" ]]; then
+    cmake -B "$BUILD_DIR" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null
+    cmake --build "$BUILD_DIR" -j --target osq_lint > /dev/null
+  fi
+  exec "$BUILD_DIR/tools/osq_lint" --json --root .
+fi
 
 # --- stage 1: osq_lint over src/ + fixture self-test ----------------------
 echo "== lint: osq_lint (custom invariant checker) =="
@@ -24,10 +45,12 @@ if [[ ! -x "$BUILD_DIR/tools/osq_lint" ]]; then
   cmake -B "$BUILD_DIR" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null
   cmake --build "$BUILD_DIR" -j --target osq_lint > /dev/null
 fi
-if "$BUILD_DIR/tools/osq_lint" --root .; then
+# Per-rule finding counts go to stderr in text mode; show them in the
+# tier-1 log so a regression names the rule family at a glance.
+if "$BUILD_DIR/tools/osq_lint" --root . 2>&1; then
   echo "osq_lint: OK"
 else
-  echo "osq_lint: VIOLATIONS (see above)"
+  echo "osq_lint: VIOLATIONS (see above, with per-rule counts)"
   fail=1
 fi
 
@@ -52,7 +75,36 @@ else
   fail=1
 fi
 
-# --- stage 2: clang-tidy against the tracked baseline ---------------------
+# --- stage 2: clang -Wthread-safety cross-check ---------------------------
+# The OSQ_* macros (src/common/annotations.h) expand to Clang's native
+# thread-safety attributes, so a clang syntax-only pass over the
+# concurrency TUs re-verifies the same lock contracts osq_lint enforces.
+# -Wno-thread-safety-attributes: std::mutex is not a Clang "capability"
+# type, so attribute-placement pedantry is expected; the analysis
+# warnings themselves (-Werror=thread-safety-*) still fail the stage.
+echo "== lint: clang++ -Wthread-safety =="
+if ! command -v clang++ > /dev/null 2>&1; then
+  echo "clang++ -Wthread-safety: SKIPPED (clang not installed)"
+else
+  tsa_files=(
+    src/common/thread_pool.cc
+    src/serve/result_cache.cc
+    src/serve/query_service.cc
+    src/shard/sharded_query_service.cc
+    src/ingest/ingest_pipeline.cc
+    src/ingest/update_sink.cc
+  )
+  if clang++ -std=c++20 -fsyntax-only -Isrc \
+      -Wthread-safety -Werror=thread-safety-analysis \
+      -Wno-thread-safety-attributes "${tsa_files[@]}"; then
+    echo "clang++ -Wthread-safety: OK (${#tsa_files[@]} TU(s))"
+  else
+    echo "clang++ -Wthread-safety: VIOLATIONS (see above)"
+    fail=1
+  fi
+fi
+
+# --- stage 3: clang-tidy against the tracked baseline ---------------------
 echo "== lint: clang-tidy =="
 if ! command -v clang-tidy > /dev/null 2>&1; then
   echo "clang-tidy: SKIPPED (not installed)"
@@ -81,7 +133,7 @@ else
   rm -f "$tidy_out" "$findings"
 fi
 
-# --- stage 3: formatting --------------------------------------------------
+# --- stage 4: formatting --------------------------------------------------
 echo "== lint: clang-format --check =="
 if ! scripts/format.sh --check; then
   fail=1

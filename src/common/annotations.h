@@ -1,0 +1,54 @@
+// Lock-discipline annotations (DESIGN.md §15).
+//
+// These macros document which mutex protects which member, which locks a
+// helper expects its caller to hold, and the global acquisition order.
+// They are enforced twice:
+//
+//   1. tools/osq_lint parses them directly (rules osq-guarded-access and
+//      osq-lock-order), so the discipline is machine-checked in tier-1 even
+//      though that gate runs on GCC.
+//   2. Under Clang they expand to the native thread-safety attributes, so a
+//      `clang++ -Wthread-safety` build cross-checks the same contracts
+//      (scripts/lint.sh runs that stage when clang is installed; note that
+//      std::mutex is not a Clang "capability" type, so that stage adds
+//      -Wno-thread-safety-attributes — osq_lint remains the authoritative
+//      enforcement here).
+//
+// Vocabulary:
+//   OSQ_GUARDED_BY(mu)        member may be read under a shared or exclusive
+//                             RAII lock on `mu`, written only under exclusive
+//   OSQ_REQUIRES(mu)          function must be called with `mu` held
+//                             exclusively (private *Locked() helpers)
+//   OSQ_REQUIRES_SHARED(mu)   function must be called with `mu` held shared
+//                             (an exclusive hold also satisfies it)
+//   OSQ_EXCLUDES(mu)          function must be called with `mu` NOT held
+//                             (it acquires `mu` itself)
+//   OSQ_ACQUIRED_BEFORE(mu)   the annotated mutex is always acquired before
+//                             `mu`; osq-lock-order flags any function whose
+//                             acquisition sequence contradicts the resulting
+//                             DAG
+
+#ifndef OSQ_COMMON_ANNOTATIONS_H_
+#define OSQ_COMMON_ANNOTATIONS_H_
+
+#if defined(__clang__)
+#define OSQ_THREAD_ANNOTATION_ATTRIBUTE_(x) __attribute__((x))
+#else
+#define OSQ_THREAD_ANNOTATION_ATTRIBUTE_(x)  // GCC: osq_lint enforces instead
+#endif
+
+#define OSQ_GUARDED_BY(x) OSQ_THREAD_ANNOTATION_ATTRIBUTE_(guarded_by(x))
+
+#define OSQ_REQUIRES(...) \
+  OSQ_THREAD_ANNOTATION_ATTRIBUTE_(requires_capability(__VA_ARGS__))
+
+#define OSQ_REQUIRES_SHARED(...) \
+  OSQ_THREAD_ANNOTATION_ATTRIBUTE_(requires_shared_capability(__VA_ARGS__))
+
+#define OSQ_EXCLUDES(...) \
+  OSQ_THREAD_ANNOTATION_ATTRIBUTE_(locks_excluded(__VA_ARGS__))
+
+#define OSQ_ACQUIRED_BEFORE(...) \
+  OSQ_THREAD_ANNOTATION_ATTRIBUTE_(acquired_before(__VA_ARGS__))
+
+#endif  // OSQ_COMMON_ANNOTATIONS_H_

@@ -25,8 +25,8 @@ struct ForState {
 
   std::mutex mu;
   std::condition_variable done;
-  size_t pending_helpers = 0;
-  std::exception_ptr error;  // first exception wins
+  size_t pending_helpers OSQ_GUARDED_BY(mu) = 0;
+  std::exception_ptr error OSQ_GUARDED_BY(mu);  // first exception wins
 
   void Drain(const std::function<void(size_t)>& fn) {
     for (size_t i = next.fetch_add(1); i < total; i = next.fetch_add(1)) {

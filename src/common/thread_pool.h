@@ -33,6 +33,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/annotations.h"
+
 namespace osq {
 
 class ThreadPool {
@@ -58,13 +60,13 @@ class ThreadPool {
 
  private:
   void WorkerLoop();
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) OSQ_EXCLUDES(mu_);
 
   std::mutex mu_;
   std::condition_variable work_available_;
-  std::deque<std::function<void()>> queue_;
-  bool stopping_ = false;
-  std::vector<std::thread> threads_;
+  std::deque<std::function<void()>> queue_ OSQ_GUARDED_BY(mu_);
+  bool stopping_ OSQ_GUARDED_BY(mu_) = false;
+  std::vector<std::thread> threads_;  // immutable after construction
 };
 
 // Resolves an options num_threads field: 0 means "all hardware threads",

@@ -159,13 +159,6 @@ IngestStats IngestPipeline::Stats() const {
   return stats_;
 }
 
-void IngestPipeline::AugmentServeStats(ServeStats* stats) const {
-  IngestStats s = Stats();
-  stats->ingest_backlog = s.backlog;
-  stats->ingest_applied_lag_ms = s.applied_lag_ms;
-  stats->ingest_coalescing_ratio = s.coalescing_ratio();
-}
-
 std::string IngestStats::ToString() const {
   std::string out;
   char line[220];

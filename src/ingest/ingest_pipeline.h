@@ -47,9 +47,9 @@
 #include <tuple>
 #include <vector>
 
+#include "common/annotations.h"
 #include "core/index_maintenance.h"
 #include "ingest/update_sink.h"
-#include "serve/serve_stats.h"
 
 namespace osq {
 
@@ -109,11 +109,12 @@ class IngestPipeline {
   // Enqueues one update.  Returns false when the pipeline is stopped or
   // the backpressure bound is hit (the update is NOT queued); returns
   // true when the update was accepted or safely coalesced away.
-  bool Submit(const GraphUpdate& update);
+  // [[nodiscard]]: a dropped return value hides backpressure.
+  [[nodiscard]] bool Submit(const GraphUpdate& update);
 
   // Convenience fan-in; returns how many of `updates` were accepted or
   // coalesced (a partial count < size() means backpressure kicked in).
-  size_t SubmitAll(const std::vector<GraphUpdate>& updates);
+  [[nodiscard]] size_t SubmitAll(const std::vector<GraphUpdate>& updates);
 
   // Blocks until every update accepted before this call has been applied
   // (linger is bypassed for the flushed prefix).  Safe from any thread
@@ -125,11 +126,6 @@ class IngestPipeline {
   void Stop();
 
   IngestStats Stats() const;
-
-  // Copies the pipeline gauges into the serving-layer stats snapshot
-  // (ServeStats::ingest_*), joining write-path and read-path
-  // observability in one report.
-  void AugmentServeStats(ServeStats* stats) const;
 
  private:
   using Clock = std::chrono::steady_clock;
@@ -155,20 +151,22 @@ class IngestPipeline {
   mutable std::mutex mu_;
   std::condition_variable worker_cv_;   // wakes the worker
   std::condition_variable retired_cv_;  // wakes Flush waiters
-  std::deque<Pending> pending_;
-  std::map<TripleKey, TripleState> triple_states_;
+  std::deque<Pending> pending_ OSQ_GUARDED_BY(mu_);
+  std::map<TripleKey, TripleState> triple_states_ OSQ_GUARDED_BY(mu_);
   // Accepted (enqueued) vs retired (applied through a cut) sequence
   // numbers; Flush(target) waits for retired_seq_ >= target.
-  uint64_t accepted_seq_ = 0;
-  uint64_t retired_seq_ = 0;
+  uint64_t accepted_seq_ OSQ_GUARDED_BY(mu_) = 0;
+  uint64_t retired_seq_ OSQ_GUARDED_BY(mu_) = 0;
   // Worker bypasses linger while retired_seq_ < flush_target_.
-  uint64_t flush_target_ = 0;
-  bool stop_ = false;
+  uint64_t flush_target_ OSQ_GUARDED_BY(mu_) = 0;
+  bool stop_ OSQ_GUARDED_BY(mu_) = false;
 
-  // Counters (guarded by mu_; Stats() snapshots under the lock).
-  IngestStats stats_;
+  // Counters (Stats() snapshots under the lock).
+  IngestStats stats_ OSQ_GUARDED_BY(mu_);
 
-  std::thread worker_;
+  // The handle is claimed (moved out) under mu_ by Stop(); the thread
+  // itself runs WorkerLoop.
+  std::thread worker_ OSQ_GUARDED_BY(mu_);
 };
 
 }  // namespace osq

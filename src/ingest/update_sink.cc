@@ -1,0 +1,14 @@
+#include "ingest/update_sink.h"
+
+#include "ingest/ingest_pipeline.h"
+
+namespace osq {
+
+void AugmentServeStats(const IngestPipeline& pipeline, ServeStats* stats) {
+  IngestStats s = pipeline.Stats();
+  stats->ingest_backlog = s.backlog;
+  stats->ingest_applied_lag_ms = s.applied_lag_ms;
+  stats->ingest_coalescing_ratio = s.coalescing_ratio();
+}
+
+}  // namespace osq

@@ -45,6 +45,15 @@ class QueryServiceSink final : public UpdateSink {
   QueryService* service_;
 };
 
+class IngestPipeline;
+
+// Copies the pipeline gauges into a serving-layer stats snapshot
+// (ServeStats::ingest_*), joining write-path and read-path observability in
+// one report.  Lives here — not on IngestPipeline — because update_sink is
+// the one sanctioned ingest<->serving bridge (osq-layering); the rest of
+// src/ingest stays free of serving-tier includes.
+void AugmentServeStats(const IngestPipeline& pipeline, ServeStats* stats);
+
 // Sink over the sharded coordinator: the batch is router-split per shard
 // and still applied under one exclusive section = one consistent cut.
 class ShardedServiceSink final : public UpdateSink {

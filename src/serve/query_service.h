@@ -50,6 +50,7 @@
 #include <shared_mutex>
 #include <vector>
 
+#include "common/annotations.h"
 #include "core/index_maintenance.h"
 #include "core/options.h"
 #include "core/query_engine.h"
@@ -97,7 +98,10 @@ class QueryService {
   // the snapshot version by one.
   bool ApplyUpdate(const GraphUpdate& update,
                    MaintenanceStats* stats = nullptr);
-  MaintenanceStats ApplyUpdates(const std::vector<GraphUpdate>& updates);
+  // [[nodiscard]]: the stats carry the applied/skipped split — dropping
+  // them hides a batch that silently no-opped.
+  [[nodiscard]] MaintenanceStats ApplyUpdates(
+      const std::vector<GraphUpdate>& updates);
   NodeId AddNode(LabelId label);
 
   // Current snapshot version; starts at 0 for a freshly wrapped engine.
@@ -118,26 +122,30 @@ class QueryService {
 
   // Direct engine access for setup / inspection.  NOT synchronized —
   // callers must guarantee no concurrent Query/Apply* is in flight.
-  const QueryEngine& engine_unsynchronized() const { return engine_; }
+  const QueryEngine& engine_unsynchronized() const {
+    // NOLINTNEXTLINE(osq-guarded-access): documented escape hatch — callers forbid concurrent traffic
+    return engine_;
+  }
 
  private:
   // Bookkeeping shared by the mutating entry points; called with `mu_`
   // held exclusively.  `applied` counts edge updates that actually changed
   // the graph; node additions go through FinishNodeAddLocked so the
   // edge-churn and node-growth metrics stay separable.
-  void FinishWriteLocked(size_t applied, size_t skipped);
-  void FinishNodeAddLocked();
+  void FinishWriteLocked(size_t applied, size_t skipped) OSQ_REQUIRES(mu_);
+  void FinishNodeAddLocked() OSQ_REQUIRES(mu_);
   // Advances the snapshot version and sweeps the result cache; shared
   // tail of the two Finish* paths.
-  void AdvanceVersionLocked();
+  void AdvanceVersionLocked() OSQ_REQUIRES(mu_);
 
   ServeOptions options_;
   // Write-intent gate: see the fairness note in the class comment.
   // Ordering is always gate THEN mu_; readers never hold both.
-  std::mutex writer_gate_;
+  std::mutex writer_gate_ OSQ_ACQUIRED_BEFORE(mu_);
   mutable std::shared_mutex mu_;  // guards engine_ (readers shared)
-  QueryEngine engine_;
+  QueryEngine engine_ OSQ_GUARDED_BY(mu_);
   std::atomic<uint64_t> version_{0};
+  // Internally synchronized (own mutex) — deliberately not GUARDED_BY.
   ResultCache cache_;
 
   // Admission gauge: queries past the shed check and not yet finished.

@@ -31,6 +31,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/annotations.h"
 #include "core/options.h"
 #include "core/query_engine.h"
 #include "graph/graph.h"
@@ -114,11 +115,12 @@ class ResultCache {
 
   mutable std::mutex mu_;
   // Front = most recently used.
-  std::list<Entry> lru_;
-  std::unordered_map<std::string, std::list<Entry>::iterator> by_key_;
-  size_t capacity_;
-  uint64_t evictions_ = 0;
-  uint64_t stale_drops_ = 0;
+  std::list<Entry> lru_ OSQ_GUARDED_BY(mu_);
+  std::unordered_map<std::string, std::list<Entry>::iterator> by_key_
+      OSQ_GUARDED_BY(mu_);
+  size_t capacity_;  // immutable after construction
+  uint64_t evictions_ OSQ_GUARDED_BY(mu_) = 0;
+  uint64_t stale_drops_ OSQ_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace osq

@@ -94,8 +94,8 @@ struct ServeStats {
   // incremental-vs-recompute claim; write_wait_us is serving contention,
   // deliberately excluded.
   double write_apply_us = 0.0;
-  // Live-ingest observability, filled by IngestPipeline::AugmentServeStats
-  // (src/ingest/ingest_pipeline.h); zero for a service without a pipeline.
+  // Live-ingest observability, filled by the free AugmentServeStats bridge
+  // (src/ingest/update_sink.h); zero for a service without a pipeline.
   // backlog = updates accepted but not yet applied (gauge); applied_lag =
   // age of the oldest update in the most recently applied batch at the
   // moment it became visible (gauge); coalescing ratio = updates absorbed

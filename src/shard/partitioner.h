@@ -85,10 +85,10 @@ class GraphPartitioner {
 
   // Owner shard of a global node id (also defined for ids created after
   // partitioning — the range policy hash-routes those).
-  size_t OwnerOf(NodeId global) const;
+  [[nodiscard]] size_t OwnerOf(NodeId global) const;
 
   // Builds the full plan: ownership, halo BFS, induced shard subgraphs.
-  ShardPlan Partition() const;
+  [[nodiscard]] ShardPlan Partition() const;
 
   const ShardOptions& options() const { return options_; }
 
@@ -137,14 +137,16 @@ class UpdateRouter {
   // for unaffected shards) and sets *applied to whether the update
   // changed the reference graph (duplicates / missing edges are no-ops
   // and route nowhere).
-  std::vector<ShardDelta> Route(const GraphUpdate& update, bool* applied);
+  [[nodiscard]] std::vector<ShardDelta> Route(const GraphUpdate& update,
+                                              bool* applied);
 
   // Creates a new global node and routes it to its owner shard (depth 0).
   // Returns the new global id via *global.
-  std::vector<ShardDelta> RouteAddNode(LabelId label, NodeId* global);
+  [[nodiscard]] std::vector<ShardDelta> RouteAddNode(LabelId label,
+                                                     NodeId* global);
 
   // Membership probe (tests / diagnostics).
-  bool IsMember(size_t shard, NodeId global) const;
+  [[nodiscard]] bool IsMember(size_t shard, NodeId global) const;
 
   const Graph& reference() const { return reference_; }
 

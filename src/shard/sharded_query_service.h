@@ -43,6 +43,7 @@
 #include <shared_mutex>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/status.h"
 #include "core/index_maintenance.h"
 #include "core/options.h"
@@ -96,7 +97,10 @@ class ShardedQueryService {
   // Mutations: routed to the owning shard(s) and applied atomically with
   // respect to Query — readers see the whole routed batch or none of it.
   bool ApplyUpdate(const GraphUpdate& update);
-  MaintenanceStats ApplyUpdates(const std::vector<GraphUpdate>& updates);
+  // [[nodiscard]]: the stats carry the applied/skipped split — dropping
+  // them hides a batch that silently no-opped.
+  [[nodiscard]] MaintenanceStats ApplyUpdates(
+      const std::vector<GraphUpdate>& updates);
   NodeId AddNode(LabelId label);
 
   // Current per-shard snapshot cut.
@@ -106,7 +110,10 @@ class ShardedQueryService {
   // vector's components (total applied batches across shards).
   ServeStats Stats() const;
 
-  size_t num_shards() const { return shards_.size(); }
+  size_t num_shards() const {
+    // NOLINTNEXTLINE(osq-guarded-access): shard count is fixed at construction; only contents are guarded
+    return shards_.size();
+  }
   size_t cache_size() const { return cache_.size(); }
   size_t inflight() const {
     return inflight_.load(std::memory_order_relaxed);
@@ -124,22 +131,25 @@ class ShardedQueryService {
                       const ShardPlan& plan,
                       const ServeOptions& serve_options);
 
-  VersionVector CurrentVersionLocked() const;
-  void ApplyDeltasLocked(const std::vector<ShardDelta>& deltas);
-  void FinishWriteLocked(size_t applied);
-  void FinishNodeAddLocked();
-  void InvalidateCacheLocked();
+  VersionVector CurrentVersionLocked() const OSQ_REQUIRES_SHARED(mu_);
+  void ApplyDeltasLocked(const std::vector<ShardDelta>& deltas)
+      OSQ_REQUIRES(mu_);
+  void FinishWriteLocked(size_t applied) OSQ_REQUIRES(mu_);
+  void FinishNodeAddLocked() OSQ_REQUIRES(mu_);
+  void InvalidateCacheLocked() OSQ_REQUIRES(mu_);
   QueryResult ScatterGather(const Graph& query, const QueryOptions& options,
-                            size_t* shards_failed);
+                            size_t* shards_failed) OSQ_REQUIRES_SHARED(mu_);
 
   ShardOptions shard_options_;
   ServeOptions options_;
   // Write-intent gate; ordering is always gate THEN mu_ (see class note).
-  std::mutex writer_gate_;
+  std::mutex writer_gate_ OSQ_ACQUIRED_BEFORE(mu_);
   mutable std::shared_mutex mu_;  // guards shards_ + router_ (readers shared)
-  std::vector<ShardEngine> shards_;
-  UpdateRouter router_;
+  std::vector<ShardEngine> shards_ OSQ_GUARDED_BY(mu_);
+  UpdateRouter router_ OSQ_GUARDED_BY(mu_);
+  // Internally synchronized (own mutex) — deliberately not GUARDED_BY.
   ResultCache cache_;
+  // Installed before traffic starts (see set_fault_hook) — unguarded.
   ShardFaultHook fault_hook_;
 
   std::atomic<size_t> inflight_{0};

@@ -234,7 +234,7 @@ TEST(IngestPipelineTest, QueryServiceSinkTakesOneSnapshotCutPerBatch) {
   EXPECT_EQ(stats.updates_applied, 2u);
   EXPECT_EQ(stats.nodes_added, 0u);
 
-  pipeline.AugmentServeStats(&stats);
+  AugmentServeStats(pipeline, &stats);
   EXPECT_EQ(stats.ingest_backlog, 0u);
   EXPECT_GT(stats.ingest_coalescing_ratio, 1.0);  // 3 submitted / 1 cut
   pipeline.Stop();

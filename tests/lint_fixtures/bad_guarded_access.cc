@@ -1,0 +1,56 @@
+// Fixture: lock-discipline breaches that must trip osq-guarded-access.
+// Self-contained: the OSQ_* annotations below feed the analyzer's index.
+#include <mutex>
+#include <shared_mutex>
+
+#include "common/annotations.h"
+
+namespace fixture {
+
+class Counters {
+ public:
+  int Get() const {
+    return value_;  // BAD: read without holding mu_
+  }
+
+  int GetLocked() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return value_;  // ok
+  }
+
+  void Bump() {
+    ++value_;  // BAD: write without holding mu_
+  }
+
+  void BumpShared() {
+    std::shared_lock<std::shared_mutex> lock(smu_);
+    shared_value_ += 1;  // BAD: write under a shared lock
+  }
+
+  void EarlyRelease() {
+    std::unique_lock<std::mutex> lock(mu_);
+    value_ = 1;  // ok
+    lock.unlock();
+    value_ = 2;  // BAD: write after the guard released mu_
+  }
+
+  void CallsHelperUnlocked() {
+    ResetLocked();  // BAD: ResetLocked requires mu_ held exclusively
+  }
+
+  void ReacquiresViaExcluded() {
+    std::lock_guard<std::mutex> lock(mu_);
+    Rebuild();  // BAD: Rebuild promises to acquire mu_ itself
+  }
+
+ private:
+  void ResetLocked() OSQ_REQUIRES(mu_);
+  void Rebuild() OSQ_EXCLUDES(mu_);
+
+  mutable std::mutex mu_;
+  mutable std::shared_mutex smu_;
+  int value_ OSQ_GUARDED_BY(mu_) = 0;
+  int shared_value_ OSQ_GUARDED_BY(smu_) = 0;
+};
+
+}  // namespace fixture

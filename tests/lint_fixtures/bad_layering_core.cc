@@ -1,0 +1,13 @@
+// Fixture: a tier-0 module reaching up into the serving tiers — both
+// includes are back-edges in the module DAG (osq-layering).  The
+// `layering_core` stem classifies this file as module `core`.
+#include "serve/query_service.h"
+#include "shard/partitioner.h"
+
+#include "graph/graph.h"
+
+namespace fixture {
+
+int UsesNothing() { return 0; }
+
+}  // namespace fixture

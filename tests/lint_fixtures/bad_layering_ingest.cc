@@ -1,0 +1,12 @@
+// Fixture: src/ingest reaching the serving tier directly instead of
+// through the update_sink bridge (osq-layering).  The `layering_ingest`
+// stem classifies this file as module `ingest`.
+#include "serve/query_service.h"
+
+#include "core/index_maintenance.h"
+
+namespace fixture {
+
+int UsesNothing() { return 0; }
+
+}  // namespace fixture

@@ -1,0 +1,38 @@
+// Fixture: acquisition sequences contradicting the OSQ_ACQUIRED_BEFORE DAG
+// (osq-lock-order).  Mirrors the seeded serving-tier hazard: taking the
+// write-intent gate after the snapshot lock re-creates the
+// reader-starvation window the gate exists to close.
+#include <mutex>
+#include <shared_mutex>
+
+#include "common/annotations.h"
+
+namespace fixture {
+
+class Service {
+ public:
+  void GateAfterSnapshot() {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    std::scoped_lock<std::mutex> gate(writer_gate_);  // BAD: gate after mu_
+  }
+
+  void CorrectWriter() {
+    std::scoped_lock<std::mutex> gate(writer_gate_);
+    std::unique_lock<std::shared_mutex> lock(mu_);  // ok: gate then mu_
+  }
+
+  void TransitiveInversion() {
+    std::lock_guard<std::mutex> hold_c(c_mu_);
+    std::lock_guard<std::mutex> hold_a(a_mu_);  // BAD: a before c transitively
+  }
+
+ private:
+  // Global order: writer_gate_ -> mu_, and a_mu_ -> b_mu_ -> c_mu_.
+  std::mutex writer_gate_ OSQ_ACQUIRED_BEFORE(mu_);
+  mutable std::shared_mutex mu_;
+  std::mutex a_mu_ OSQ_ACQUIRED_BEFORE(b_mu_);
+  std::mutex b_mu_ OSQ_ACQUIRED_BEFORE(c_mu_);
+  std::mutex c_mu_;
+};
+
+}  // namespace fixture

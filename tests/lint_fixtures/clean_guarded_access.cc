@@ -1,0 +1,79 @@
+// Fixture: disciplined guarded access that must pass osq-guarded-access —
+// early returns inside locked scopes, nested scopes, defer_lock with a
+// later .lock(), unlock/relock windows, this-> access, multi-mutex
+// scoped_lock, and helper contracts (exclusive satisfies shared).
+#include <mutex>
+#include <shared_mutex>
+
+#include "common/annotations.h"
+
+namespace fixture {
+
+class Counters {
+ public:
+  int Snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (value_ < 0) {
+      return 0;  // early return inside the locked scope
+    }
+    return value_;
+  }
+
+  void Set(int v) {
+    std::unique_lock<std::mutex> lock(mu_, std::defer_lock);
+    lock.lock();
+    value_ = v;
+    this->value_ = v;
+  }
+
+  void Nested() {
+    std::lock_guard<std::mutex> outer(mu_);
+    value_ = 1;
+    {
+      int tmp = value_;  // still locked in a nested scope
+      value_ = tmp + 1;
+    }
+    value_ = 3;
+  }
+
+  void Pair() {
+    std::scoped_lock<std::mutex, std::mutex> lock(a_mu_, b_mu_);
+    a_ = 1;
+    b_ = 2;
+  }
+
+  void Toggle() {
+    std::unique_lock<std::mutex> lock(mu_);
+    value_ = 1;
+    lock.unlock();
+    Rebuild();  // OSQ_EXCLUDES(mu_) — satisfied in the unlocked window
+    lock.lock();
+    value_ = 2;
+  }
+
+  int ReadViaHelper() const {
+    std::shared_lock<std::shared_mutex> lock(smu_);
+    return SumLocked();
+  }
+
+  int SumExclusive() {
+    std::unique_lock<std::shared_mutex> lock(smu_);
+    shared_value_ = 7;
+    return SumLocked();  // exclusive hold satisfies OSQ_REQUIRES_SHARED
+  }
+
+ private:
+  void Rebuild() OSQ_EXCLUDES(mu_);
+  int SumLocked() const OSQ_REQUIRES_SHARED(smu_);
+
+  mutable std::mutex mu_;
+  std::mutex a_mu_;
+  std::mutex b_mu_;
+  mutable std::shared_mutex smu_;
+  int value_ OSQ_GUARDED_BY(mu_) = 0;
+  int a_ OSQ_GUARDED_BY(a_mu_) = 0;
+  int b_ OSQ_GUARDED_BY(b_mu_) = 0;
+  int shared_value_ OSQ_GUARDED_BY(smu_) = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,12 @@
+// Fixture: the shard coordinator's allowed dependencies — its own module,
+// the serve tier below it, and tier-0 — must pass osq-layering.  The
+// `layering_shard` stem classifies this file as module `shard`.
+#include "common/status.h"
+#include "serve/result_cache.h"
+#include "shard/partitioner.h"
+
+namespace fixture {
+
+int UsesNothing() { return 0; }
+
+}  // namespace fixture

@@ -1,0 +1,40 @@
+// Fixture: acquisition sequences consistent with the OSQ_ACQUIRED_BEFORE
+// DAG (osq-lock-order must stay silent), including the reader's
+// gate-passthrough idiom where the gate is released before the snapshot
+// lock is taken.
+#include <mutex>
+#include <shared_mutex>
+
+#include "common/annotations.h"
+
+namespace fixture {
+
+class Service {
+ public:
+  void Writer() {
+    std::scoped_lock<std::mutex> gate(writer_gate_);
+    std::unique_lock<std::shared_mutex> lock(mu_);
+  }
+
+  void ReaderPassthrough() {
+    {
+      std::scoped_lock<std::mutex> gate(writer_gate_);
+    }  // gate released before the shared acquisition — no ordering event
+    std::shared_lock<std::shared_mutex> lock(mu_);
+  }
+
+  void ChainInOrder() {
+    std::lock_guard<std::mutex> hold_a(a_mu_);
+    std::lock_guard<std::mutex> hold_b(b_mu_);
+    std::lock_guard<std::mutex> hold_c(c_mu_);
+  }
+
+ private:
+  std::mutex writer_gate_ OSQ_ACQUIRED_BEFORE(mu_);
+  mutable std::shared_mutex mu_;
+  std::mutex a_mu_ OSQ_ACQUIRED_BEFORE(b_mu_);
+  std::mutex b_mu_ OSQ_ACQUIRED_BEFORE(c_mu_);
+  std::mutex c_mu_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,18 @@
+// Fixture: raw-string literals whose CONTENTS would trip token rules if
+// the lexer failed to blank them — plain form, custom delimiter, encoding
+// prefixes, and an identifier that merely ends in R followed by a string
+// (not a raw-string prefix).  Must lint clean.
+namespace fixture {
+
+const char* kPlainRaw = R"(std::cout << "hidden"; mu.lock();)";
+const char* kDelimited = R"delim(printf("also hidden"); rand();)delim";
+const char* kU8 = u8R"(time(nullptr) inside a literal)";
+const char* kWide = LR"(srand(42) inside a literal)";
+// An identifier ending in R directly before a quote is NOT a raw-string
+// prefix; the literal below is an ordinary string (fixture is never
+// compiled — only lexed).
+const char* kIdentR = STR_R"std::cout << not raw";
+
+int AfterTheLiterals() { return 1; }  // lexer must resync to real code
+
+}  // namespace fixture

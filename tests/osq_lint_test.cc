@@ -226,6 +226,180 @@ TEST(OsqLintContentTest, GraphCoreMayTouchItsOwnArrays) {
   EXPECT_EQ(LintSnippet("src/core/filtering.cc", code).size(), 2u);
 }
 
+// --- flow rules (lock annotations, DESIGN.md §15) -------------------------
+
+TEST(OsqLintFixtureTest, BadGuardedAccess) {
+  std::vector<Violation> vs = LintFixture("bad_guarded_access.cc");
+  // unguarded read + unguarded write + shared-mode write + write after
+  // .unlock() + an OSQ_REQUIRES breach + an OSQ_EXCLUDES breach.
+  EXPECT_EQ(CountRule(vs, "osq-guarded-access"), 6u);
+  EXPECT_EQ(vs.size(), 6u);
+}
+
+TEST(OsqLintFixtureTest, CleanGuardedAccess) {
+  EXPECT_TRUE(LintFixture("clean_guarded_access.cc").empty());
+}
+
+TEST(OsqLintFixtureTest, BadLockOrder) {
+  std::vector<Violation> vs = LintFixture("bad_lock_order.cc");
+  // The seeded serving-tier hazard (gate taken after the snapshot lock)
+  // plus a transitive a->b->c inversion.
+  ASSERT_EQ(CountRule(vs, "osq-lock-order"), 2u);
+  EXPECT_EQ(vs.size(), 2u);
+  EXPECT_NE(vs[0].message.find("writer_gate_"), std::string::npos)
+      << vs[0].ToString();
+}
+
+TEST(OsqLintFixtureTest, CleanLockOrder) {
+  EXPECT_TRUE(LintFixture("clean_lock_order.cc").empty());
+}
+
+TEST(OsqLintFixtureTest, BadLayering) {
+  std::vector<Violation> core = LintFixture("bad_layering_core.cc");
+  EXPECT_EQ(CountRule(core, "osq-layering"), 2u);  // serve + shard includes
+  EXPECT_EQ(core.size(), 2u);
+  std::vector<Violation> ingest = LintFixture("bad_layering_ingest.cc");
+  EXPECT_EQ(CountRule(ingest, "osq-layering"), 1u);  // bypasses update_sink
+  EXPECT_EQ(ingest.size(), 1u);
+}
+
+TEST(OsqLintFixtureTest, CleanLayeringShard) {
+  EXPECT_TRUE(LintFixture("clean_layering_shard.cc").empty());
+}
+
+TEST(OsqLintFixtureTest, CleanRawStringLexing) {
+  EXPECT_TRUE(LintFixture("clean_raw_string.cc").empty());
+}
+
+TEST(OsqLintFlowTest, DeferLockWithoutAcquireIsFlagged) {
+  std::vector<Violation> vs = LintSnippet(
+      "src/x.cc",
+      "class C {\n"
+      " public:\n"
+      "  void F() {\n"
+      "    std::unique_lock<std::mutex> lock(mu_, std::defer_lock);\n"
+      "    v_ = 1;\n"
+      "  }\n"
+      " private:\n"
+      "  std::mutex mu_;\n"
+      "  int v_ OSQ_GUARDED_BY(mu_) = 0;\n"
+      "};\n");
+  ASSERT_EQ(CountRule(vs, "osq-guarded-access"), 1u);
+  EXPECT_EQ(vs[0].line, 5u);
+}
+
+TEST(OsqLintFlowTest, AdoptLockCountsAsHeldWithoutOrderEvent) {
+  // adopt_lock adopts an acquisition made elsewhere (std::lock's
+  // deadlock-avoidance), so the accesses are guarded and no
+  // acquisition-order event fires even though the DAG orders b_ first.
+  EXPECT_TRUE(LintSnippet("src/x.cc",
+                          "class C {\n"
+                          " public:\n"
+                          "  void F() {\n"
+                          "    std::lock(a_, b_);\n"
+                          "    std::scoped_lock<std::mutex, std::mutex> g("
+                          "std::adopt_lock, a_, b_);\n"
+                          "    va_ = 1;\n"
+                          "    vb_ = 2;\n"
+                          "  }\n"
+                          " private:\n"
+                          "  std::mutex b_ OSQ_ACQUIRED_BEFORE(a_);\n"
+                          "  std::mutex a_;\n"
+                          "  int va_ OSQ_GUARDED_BY(a_) = 0;\n"
+                          "  int vb_ OSQ_GUARDED_BY(b_) = 0;\n"
+                          "};\n")
+                  .empty());
+}
+
+TEST(OsqLintFlowTest, LockStateDoesNotLeakAcrossFunctions) {
+  // Returning while the guard is live (RAII releases on unwind) must not
+  // leave the NEXT function's body treated as locked.
+  std::vector<Violation> vs = LintSnippet(
+      "src/x.cc",
+      "class C {\n"
+      " public:\n"
+      "  int Locked() {\n"
+      "    std::lock_guard<std::mutex> lock(mu_);\n"
+      "    return v_;\n"
+      "  }\n"
+      "  int Unlocked() { return v_; }\n"
+      " private:\n"
+      "  std::mutex mu_;\n"
+      "  int v_ OSQ_GUARDED_BY(mu_) = 0;\n"
+      "};\n");
+  ASSERT_EQ(vs.size(), 1u);
+  EXPECT_EQ(vs[0].line, 7u);
+}
+
+TEST(OsqLintFlowTest, GuardDiesWithItsScope) {
+  std::vector<Violation> vs = LintSnippet(
+      "src/x.cc",
+      "class C {\n"
+      " public:\n"
+      "  void F() {\n"
+      "    {\n"
+      "      std::lock_guard<std::mutex> lock(mu_);\n"
+      "      v_ = 1;\n"
+      "    }\n"
+      "    v_ = 2;\n"
+      "  }\n"
+      " private:\n"
+      "  std::mutex mu_;\n"
+      "  int v_ OSQ_GUARDED_BY(mu_) = 0;\n"
+      "};\n");
+  ASSERT_EQ(vs.size(), 1u);
+  EXPECT_EQ(vs[0].line, 8u);
+}
+
+TEST(OsqLintFlowTest, ConstructorAndDestructorAreExempt) {
+  EXPECT_TRUE(LintSnippet("src/x.cc",
+                          "class C {\n"
+                          " public:\n"
+                          "  C() { v_ = 1; }\n"
+                          "  ~C() { v_ = 0; }\n"
+                          " private:\n"
+                          "  std::mutex mu_;\n"
+                          "  int v_ OSQ_GUARDED_BY(mu_) = 0;\n"
+                          "};\n")
+                  .empty());
+}
+
+TEST(OsqLintFlowTest, OutOfLineMethodCheckedAgainstHeaderIndex) {
+  // The .cc body is checked against annotations collected from the header
+  // (LintTree/LintFile wiring) via the index-taking LintContent overload.
+  AnnotationIndex index;
+  CollectAnnotations(
+      "class C {\n"
+      " private:\n"
+      "  std::mutex mu_;\n"
+      "  int v_ OSQ_GUARDED_BY(mu_) = 0;\n"
+      "};\n",
+      &index);
+  std::vector<Violation> out;
+  LintContent("src/x.cc", "int C::Get() { return v_; }\n",
+              ClassifyPath("src/x.cc"), index, &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].rule, "osq-guarded-access");
+}
+
+TEST(OsqLintContentTest, IdentifierEndingInRIsNotARawStringPrefix) {
+  // Regression: STR_R"..." must lex as identifier + ordinary string; a
+  // lexer that misreads it as a raw literal swallows the rest of the file
+  // and hides the cout on the next line.
+  std::vector<Violation> vs =
+      LintSnippet("src/x.cc",
+                  "const char* s = STR_R\"abc\";\n"
+                  "void f() { std::cout << 1; }\n");
+  EXPECT_EQ(CountRule(vs, "osq-no-stdout"), 1u);
+}
+
+TEST(OsqLintContentTest, EncodingPrefixedRawStringsAreBlanked) {
+  EXPECT_TRUE(LintSnippet("src/x.cc",
+                          "const char* a = u8R\"(std::cout << rand())\";\n"
+                          "const char* b = LR\"x(printf(\"y\"))x\";\n")
+                  .empty());
+}
+
 TEST(OsqLintContentTest, HeaderRuleSkipsSourceFiles) {
   // Definitions in .cc files are covered by the header declaration; the
   // nodiscard rule only fires on headers.

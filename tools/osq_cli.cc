@@ -681,7 +681,7 @@ int RunIngestBench(Service* service, const Graph& seed_graph,
 
   IngestStats ingest = pipeline.Stats();
   ServeStats stats = service->Stats();
-  pipeline.AugmentServeStats(&stats);
+  AugmentServeStats(pipeline, &stats);
   std::printf("drained %llu updates in %llu batches over %.1f ms wall "
               "(%.4f ms/batch in-lock apply)\n",
               static_cast<unsigned long long>(ingest.applied +

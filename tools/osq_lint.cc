@@ -2,19 +2,68 @@
 //
 //   osq_lint --root <repo-root>      lint every .h/.cc under <root>/src
 //   osq_lint <file> [<file>...]      lint the given files (fixtures, hooks)
+//   osq_lint --json ...              machine-readable findings on stdout
 //
 // Exit status: 0 clean, 1 violations found, 2 usage or I/O error.
-// Findings go to stdout as "file:line: [rule] message".
+// Text mode: findings go to stdout as "file:line: [rule] message", and a
+// per-rule count summary goes to stderr.  JSON mode: one object with
+// "violations" (array of {file, line, rule, message}) and "counts"
+// (rule -> finding count), consumed by scripts/lint.sh --json and CI.
 
 #include <cstdio>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "osq_lint.h"
 
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::map<std::string, size_t> CountByRule(
+    const std::vector<osq::lint::Violation>& violations) {
+  std::map<std::string, size_t> counts;
+  for (const osq::lint::Violation& v : violations) {
+    ++counts[v.rule];
+  }
+  return counts;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   std::string root;
   std::vector<std::string> files;
+  bool json = false;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--root") {
@@ -23,9 +72,12 @@ int main(int argc, char** argv) {
         return 2;
       }
       root = argv[++i];
+    } else if (arg == "--json") {
+      json = true;
     } else if (arg == "--help" || arg == "-h") {
-      std::fprintf(stderr,
-                   "usage: osq_lint --root <dir> | osq_lint <file>...\n");
+      std::fprintf(
+          stderr,
+          "usage: osq_lint [--json] (--root <dir> | <file>...)\n");
       return 2;
     } else {
       files.push_back(std::move(arg));
@@ -43,15 +95,43 @@ int main(int argc, char** argv) {
   for (const std::string& f : files) {
     io_ok = osq::lint::LintFile(f, &violations) && io_ok;
   }
-  for (const osq::lint::Violation& v : violations) {
-    std::printf("%s\n", v.ToString().c_str());
+
+  const std::map<std::string, size_t> counts = CountByRule(violations);
+  if (json) {
+    std::printf("{\n  \"violations\": [");
+    for (size_t i = 0; i < violations.size(); ++i) {
+      const osq::lint::Violation& v = violations[i];
+      std::printf(
+          "%s\n    {\"file\": \"%s\", \"line\": %zu, \"rule\": \"%s\", "
+          "\"message\": \"%s\"}",
+          i == 0 ? "" : ",", JsonEscape(v.file).c_str(), v.line,
+          JsonEscape(v.rule).c_str(), JsonEscape(v.message).c_str());
+    }
+    std::printf("%s],\n  \"counts\": {", violations.empty() ? "" : "\n  ");
+    size_t i = 0;
+    for (const auto& entry : counts) {
+      std::printf("%s\"%s\": %zu", i++ == 0 ? "" : ", ",
+                  JsonEscape(entry.first).c_str(), entry.second);
+    }
+    std::printf("},\n  \"clean\": %s\n}\n",
+                violations.empty() && io_ok ? "true" : "false");
+  } else {
+    for (const osq::lint::Violation& v : violations) {
+      std::printf("%s\n", v.ToString().c_str());
+    }
   }
   if (!io_ok) {
     std::fprintf(stderr, "osq_lint: some inputs could not be read\n");
     return 2;
   }
   if (!violations.empty()) {
-    std::fprintf(stderr, "osq_lint: %zu violation(s)\n", violations.size());
+    if (!json) {
+      std::fprintf(stderr, "osq_lint: %zu violation(s)\n", violations.size());
+      for (const auto& entry : counts) {
+        std::fprintf(stderr, "  %-22s %zu\n", entry.first.c_str(),
+                     entry.second);
+      }
+    }
     return 1;
   }
   return 0;

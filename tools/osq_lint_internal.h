@@ -1,0 +1,60 @@
+// Shared plumbing between the token-level rules (osq_lint_lib.cc) and the
+// flow-aware analyzer (osq_lint_flow.cc): the comment/string-stripping
+// lexer, NOLINT parsing, and small string helpers.  Not part of the public
+// osq_lint.h surface.
+
+#ifndef OSQ_TOOLS_OSQ_LINT_INTERNAL_H_
+#define OSQ_TOOLS_OSQ_LINT_INTERNAL_H_
+
+#include <string>
+#include <vector>
+
+#include "osq_lint.h"
+
+namespace osq {
+namespace lint {
+namespace internal {
+
+// One physical source line, split into the code text (comments and
+// string/char literals blanked out, columns preserved) and the comment text
+// (for NOLINT directives).
+struct Line {
+  std::string code;
+  std::string comment;
+};
+
+// Splits `content` into lines and blanks comments and literals with a small
+// state machine.  Raw strings — including encoding prefixes (u8R"…", LR"…")
+// and custom delimiters up to the standard's 16 chars — are blanked with
+// columns preserved, and an identifier that merely ends in R (STR_R"…") is
+// correctly treated as an ordinary string literal following an identifier.
+std::vector<Line> Preprocess(const std::string& content);
+
+// How a NOLINT directive on a line relates to a rule.
+enum class Suppression { kNone, kJustified, kUnjustified };
+
+// Parses `comment` for "NOLINT(rules)" or (when `next_line`) a
+// "NOLINTNEXTLINE(rules)" directive covering `rule`.  A justification is any
+// non-blank text after a ':' that follows the closing parenthesis.
+Suppression ParseNolint(const std::string& comment, const std::string& rule,
+                        bool next_line);
+
+bool HasSuffix(const std::string& s, const std::string& suffix);
+
+// Flow-aware intra-procedural rules (osq-guarded-access, osq-lock-order)
+// over the preprocessed `lines`, checked against `index`.  Implemented in
+// osq_lint_flow.cc.
+void LintFlow(const std::string& path, const std::vector<Line>& lines,
+              const AnnotationIndex& index, std::vector<Violation>* out);
+
+// Module-layering rule (osq-layering) over the raw `content`'s #include
+// lines; `lines` supplies the comment view for NOLINT suppression.
+void LintLayering(const std::string& path, const std::string& content,
+                  const std::vector<Line>& lines, const FileClass& cls,
+                  std::vector<Violation>* out);
+
+}  // namespace internal
+}  // namespace lint
+}  // namespace osq
+
+#endif  // OSQ_TOOLS_OSQ_LINT_INTERNAL_H_

@@ -10,22 +10,46 @@
 #include <string>
 #include <vector>
 
+#include "osq_lint_internal.h"
+
 namespace osq {
 namespace lint {
+namespace internal {
+
 namespace {
 
-// One physical source line, split into the code text (comments and
-// string/char literals blanked out, columns preserved) and the comment text
-// (for NOLINT directives).
-struct Line {
-  std::string code;
-  std::string comment;
-};
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// True when the code accumulated so far ends in a genuine raw-string prefix
+// (R, u8R, uR, UR, LR) — i.e. the next '"' opens a raw string.  An
+// identifier that merely ends in R (STR_R"...") is an ordinary string
+// following an identifier (macro-paste style), not a raw string.
+bool EndsInRawPrefix(const std::string& code) {
+  size_t len = code.size();
+  if (len == 0 || code[len - 1] != 'R') {
+    return false;
+  }
+  size_t before_r = len - 1;  // chars preceding the 'R'
+  // Optional encoding prefix directly before the R.
+  if (before_r >= 2 && code[before_r - 2] == 'u' && code[before_r - 1] == '8') {
+    before_r -= 2;
+  } else if (before_r >= 1 &&
+             (code[before_r - 1] == 'u' || code[before_r - 1] == 'U' ||
+              code[before_r - 1] == 'L')) {
+    before_r -= 1;
+  }
+  // Whatever precedes the (possibly prefixed) R must not extend an
+  // identifier, otherwise R is just the last letter of a longer name.
+  return before_r == 0 || !IsIdentChar(code[before_r - 1]);
+}
+
+}  // namespace
 
 // Splits `content` into lines and blanks comments and literals with a small
-// state machine.  Raw strings are handled far enough for real code
-// (R"delim(...)delim"); the blanked columns keep positions stable so
-// reported columns/lines match the file.
+// state machine; the blanked columns keep positions stable so reported
+// columns/lines match the file.
 std::vector<Line> Preprocess(const std::string& content) {
   enum class State { kCode, kString, kChar, kBlockComment, kRawString };
   std::vector<Line> lines;
@@ -66,8 +90,12 @@ std::vector<Line> Preprocess(const std::string& content) {
           continue;
         }
         if (c == '"') {
-          // Raw string?  The R must directly precede the quote.
-          if (!cur.code.empty() && cur.code.back() == 'R') {
+          // Raw string?  A genuine raw-string prefix must directly precede
+          // the quote (R / u8R / uR / UR / LR, not an identifier that
+          // happens to end in R).  The delimiter may be up to 16 chars (the
+          // standard's cap); a longer one is ill-formed and falls back to
+          // plain-string handling.
+          if (EndsInRawPrefix(cur.code)) {
             size_t j = i + 1;
             std::string delim;
             while (j < n && content[j] != '(' && content[j] != '\n' &&
@@ -78,7 +106,11 @@ std::vector<Line> Preprocess(const std::string& content) {
             if (j < n && content[j] == '(') {
               raw_delim = ")" + delim + "\"";
               state = State::kRawString;
-              cur.code.push_back(' ');
+              // Blank the quote, delimiter and opening paren one-for-one so
+              // columns after the raw string stay aligned with the file.
+              for (size_t k = i; k <= j; ++k) {
+                cur.code.push_back(' ');
+              }
               i = j + 1;
               continue;
             }
@@ -146,9 +178,6 @@ std::vector<Line> Preprocess(const std::string& content) {
   return lines;
 }
 
-// How a NOLINT directive on a line relates to `rule`.
-enum class Suppression { kNone, kJustified, kUnjustified };
-
 // Parses `comment` for "NOLINT(rules)" or (when `next_line`) a
 // "NOLINTNEXTLINE(rules)" directive covering `rule`.  A justification is any
 // non-blank text after a ':' that follows the closing parenthesis.
@@ -190,6 +219,21 @@ Suppression ParseNolint(const std::string& comment, const std::string& rule,
   return text == std::string::npos ? Suppression::kUnjustified
                                    : Suppression::kJustified;
 }
+
+bool HasSuffix(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+}  // namespace internal
+
+namespace {
+
+using internal::HasSuffix;
+using internal::Line;
+using internal::ParseNolint;
+using internal::Preprocess;
+using internal::Suppression;
 
 class Linter {
  public:
@@ -525,9 +569,29 @@ class Linter {
   std::set<std::string> unordered_vars_;
 };
 
-bool HasSuffix(const std::string& s, const std::string& suffix) {
-  return s.size() >= suffix.size() &&
-         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+// The src/ modules osq-layering knows about; anything else (system headers,
+// gtest, tools/) is outside the layering DAG.
+const char* const kModules[] = {"baseline", "common",   "core",  "gen",
+                                "graph",    "ingest",   "ontology",
+                                "query",    "serve",    "shard"};
+
+std::string ModuleOf(const std::string& path, const std::string& stem) {
+  for (const char* mod : kModules) {
+    if (path.find("src/" + std::string(mod) + "/") != std::string::npos) {
+      return mod;
+    }
+  }
+  // Fixtures opt in by naming: {bad,clean}_layering_<module>_*.cc.
+  size_t tag = stem.find("layering_");
+  if (tag != std::string::npos) {
+    std::string rest = stem.substr(tag + 9);
+    for (const char* mod : kModules) {
+      if (rest.rfind(mod, 0) == 0) {
+        return mod;
+      }
+    }
+  }
+  return "";
 }
 
 }  // namespace
@@ -540,6 +604,7 @@ FileClass ClassifyPath(const std::string& path) {
   FileClass cls;
   cls.header = HasSuffix(path, ".h");
   std::string stem = std::filesystem::path(path).filename().string();
+  cls.module = ModuleOf(path, stem);
   for (const char* layer :
        {"kmatch", "diversify", "explain", "query_engine"}) {
     if (stem.find(layer) != std::string::npos) {
@@ -573,19 +638,59 @@ FileClass ClassifyPath(const std::string& path) {
 }
 
 void LintContent(const std::string& path, const std::string& content,
-                 const FileClass& cls, std::vector<Violation>* out) {
+                 const FileClass& cls, const AnnotationIndex& index,
+                 std::vector<Violation>* out) {
   std::vector<Line> lines = Preprocess(content);
   Linter(path, lines, cls, out).Run();
+  internal::LintFlow(path, lines, index, out);
+  internal::LintLayering(path, content, lines, cls, out);
 }
 
-bool LintFile(const std::string& path, std::vector<Violation>* out) {
+void LintContent(const std::string& path, const std::string& content,
+                 const FileClass& cls, std::vector<Violation>* out) {
+  // Self-contained mode: the flow rules see only the annotations declared
+  // in this content (fixtures, snippets).
+  AnnotationIndex index;
+  CollectAnnotations(content, &index);
+  LintContent(path, content, cls, index, out);
+}
+
+namespace {
+
+bool ReadWholeFile(const std::string& path, std::string* content) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     return false;
   }
   std::ostringstream buf;
   buf << in.rdbuf();
-  LintContent(path, buf.str(), ClassifyPath(path), out);
+  *content = buf.str();
+  return true;
+}
+
+}  // namespace
+
+bool LintFile(const std::string& path, std::vector<Violation>* out) {
+  std::string content;
+  if (!ReadWholeFile(path, &content)) {
+    return false;
+  }
+  AnnotationIndex index;
+  CollectAnnotations(content, &index);
+  // A .cc file's methods are checked against the annotations its class
+  // declared in the sibling header (and vice versa for inline bodies whose
+  // class grew annotations in a split header/impl fixture).
+  std::string sibling;
+  if (HasSuffix(path, ".cc")) {
+    sibling = path.substr(0, path.size() - 3) + ".h";
+  } else if (HasSuffix(path, ".h")) {
+    sibling = path.substr(0, path.size() - 2) + ".cc";
+  }
+  std::string sibling_content;
+  if (!sibling.empty() && ReadWholeFile(sibling, &sibling_content)) {
+    CollectAnnotations(sibling_content, &index);
+  }
+  LintContent(path, content, ClassifyPath(path), index, out);
   return true;
 }
 
@@ -611,9 +716,26 @@ bool LintTree(const std::string& root, std::vector<Violation>* out) {
     }
   }
   std::sort(files.begin(), files.end());
+
+  // Two passes: first collect every OSQ_* annotation in the tree (so a .cc
+  // body is checked against its header's contracts regardless of scan
+  // order), then lint each file against the full index.
+  AnnotationIndex index;
+  std::vector<std::string> contents(files.size());
+  std::vector<char> readable(files.size(), 0);
   bool ok = true;
-  for (const std::string& f : files) {
-    ok = LintFile(f, out) && ok;
+  for (size_t i = 0; i < files.size(); ++i) {
+    if (ReadWholeFile(files[i], &contents[i])) {
+      readable[i] = 1;
+      CollectAnnotations(contents[i], &index);
+    } else {
+      ok = false;
+    }
+  }
+  for (size_t i = 0; i < files.size(); ++i) {
+    if (readable[i]) {
+      LintContent(files[i], contents[i], ClassifyPath(files[i]), index, out);
+    }
   }
   return ok;
 }
